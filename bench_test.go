@@ -1,0 +1,340 @@
+// Benchmarks regenerating the paper's evaluation (§V): one testing.B
+// benchmark per figure and table. Each reports the figure's metric via
+// b.ReportMetric (ops/s, or µs for the latency percentiles), with sub-
+// benchmarks named series/parameter exactly as the figure sweeps them.
+//
+//	go test -bench=Fig5 -benchmem .
+//
+// These run shortened sweeps suitable for a laptop; cmd/onefile-bench runs
+// the full paper-scale parameterisation and prints the series as tables.
+package onefile_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"onefile/internal/bench"
+	"onefile/internal/pmem"
+	"onefile/internal/tm"
+)
+
+var benchDur = 100 * time.Millisecond
+
+func benchOpts(heap int) []tm.Option {
+	return []tm.Option{
+		tm.WithHeapWords(heap),
+		tm.WithMaxThreads(64),
+		tm.WithMaxStores(1 << 15),
+	}
+}
+
+func reportOps(b *testing.B, ops float64) {
+	b.Helper()
+	b.ReportMetric(ops, "ops/s")
+}
+
+// BenchmarkFig2SPS — volatile SPS: swaps/s vs swaps-per-transaction.
+func BenchmarkFig2SPS(b *testing.B) {
+	for _, eng := range bench.VolatileEngines {
+		for _, r := range []int{1, 16, 64} {
+			b.Run(fmt.Sprintf("%s/swaps=%d", eng, r), func(b *testing.B) {
+				e, err := bench.NewVolatile(eng, benchOpts(1<<16)...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for i := 0; i < b.N; i++ {
+					reportOps(b, bench.SPS(e, bench.SPSConfig{
+						Entries: 1000, SwapsPerTx: r, Threads: 4, Duration: benchDur,
+					}))
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig3SPSAlloc — volatile SPS with allocation per swap.
+func BenchmarkFig3SPSAlloc(b *testing.B) {
+	for _, eng := range bench.VolatileEngines {
+		b.Run(eng, func(b *testing.B) {
+			e, err := bench.NewVolatile(eng, benchOpts(1<<18)...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				reportOps(b, bench.SPS(e, bench.SPSConfig{
+					Entries: 1000, SwapsPerTx: 4, Threads: 4, Duration: benchDur, Alloc: true,
+				}))
+			}
+		})
+	}
+}
+
+// BenchmarkFig4Queues — volatile queues: enq/deq pairs per second.
+func BenchmarkFig4Queues(b *testing.B) {
+	run := func(name string, q bench.BenchQueue) {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				reportOps(b, bench.QueueBench(q, bench.QueueConfig{
+					Threads: 4, Duration: benchDur, Prefill: 64,
+				}))
+			}
+		})
+	}
+	for _, eng := range bench.VolatileEngines {
+		e, err := bench.NewVolatile(eng, benchOpts(1<<18)...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run("stm/"+eng, bench.NewTMQueue(e))
+	}
+	for _, hm := range []string{"MSQueue", "WFQueue", "FAAQueue", "LCRQ"} {
+		q, err := bench.NewHandmadeQueue(hm, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run("handmade/"+hm, q)
+	}
+}
+
+// benchSets runs a set sweep for a figure.
+func benchSets(b *testing.B, kind string, engines []string, persistent bool, keys int, ratios []float64, handmade string) {
+	b.Helper()
+	for _, eng := range engines {
+		for _, ratio := range ratios {
+			b.Run(fmt.Sprintf("%s/update=%g%%", eng, ratio*100), func(b *testing.B) {
+				var (
+					e   tm.Engine
+					err error
+				)
+				if persistent {
+					e, _, err = bench.NewPersistent(eng, pmem.StrictMode, 1, benchOpts(1<<20)...)
+				} else {
+					e, err = bench.NewVolatile(eng, benchOpts(1<<20)...)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				s, err := bench.NewTMSet(e, kind)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for i := 0; i < b.N; i++ {
+					reportOps(b, bench.SetBench(s, bench.SetConfig{
+						Keys: keys, UpdateRatio: ratio, Threads: 4, Duration: benchDur,
+					}))
+				}
+			})
+		}
+	}
+	if handmade == "" {
+		return
+	}
+	for _, ratio := range ratios {
+		b.Run(fmt.Sprintf("%s/update=%g%%", handmade, ratio*100), func(b *testing.B) {
+			s, err := bench.NewHandmadeSet(kind, 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				reportOps(b, bench.SetBench(s, bench.SetConfig{
+					Keys: keys, UpdateRatio: ratio, Threads: 4, Duration: benchDur,
+				}))
+			}
+		})
+	}
+}
+
+var benchRatios = []float64{1, 0.1, 0}
+
+// BenchmarkFig5ListSets — volatile linked-list sets vs Harris-HE.
+func BenchmarkFig5ListSets(b *testing.B) {
+	benchSets(b, "list", bench.VolatileEngines, false, 1000, benchRatios, "Harris-HE")
+}
+
+// BenchmarkFig6Trees — volatile tree sets vs NataHE.
+func BenchmarkFig6Trees(b *testing.B) {
+	benchSets(b, "tree", bench.VolatileEngines, false, 10000, benchRatios, "NataHE")
+}
+
+// BenchmarkFig7Latency — tail-latency percentiles of the 64-counter
+// workload (µs, lower is better).
+func BenchmarkFig7Latency(b *testing.B) {
+	for _, eng := range bench.VolatileEngines {
+		b.Run(eng, func(b *testing.B) {
+			e, err := bench.NewVolatile(eng, benchOpts(1<<16)...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				ps := bench.Latency(e, bench.LatencyConfig{Counters: 64, Threads: 4, PerThread: 500})
+				for j, p := range bench.Percentiles {
+					b.ReportMetric(ps[j], fmt.Sprintf("p%v-µs", p))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig8PersistentSPS — persistent SPS on the emulated NVM.
+func BenchmarkFig8PersistentSPS(b *testing.B) {
+	for _, eng := range bench.PersistentEngines {
+		for _, r := range []int{1, 16, 64} {
+			b.Run(fmt.Sprintf("%s/swaps=%d", eng, r), func(b *testing.B) {
+				e, _, err := bench.NewPersistent(eng, pmem.StrictMode, 1, benchOpts(1<<20)...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for i := 0; i < b.N; i++ {
+					reportOps(b, bench.SPS(e, bench.SPSConfig{
+						Entries: 100000, SwapsPerTx: r, Threads: 4, Duration: benchDur,
+					}))
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig9PersistentListSets — persistent linked-list sets.
+func BenchmarkFig9PersistentListSets(b *testing.B) {
+	benchSets(b, "list", bench.PersistentEngines, true, 1000, benchRatios, "")
+}
+
+// BenchmarkFig10PersistentTrees — persistent red-black trees.
+func BenchmarkFig10PersistentTrees(b *testing.B) {
+	benchSets(b, "tree", bench.PersistentEngines, true, 10000, benchRatios, "")
+}
+
+// BenchmarkFig11PersistentHash — persistent resizable hash sets.
+func BenchmarkFig11PersistentHash(b *testing.B) {
+	benchSets(b, "hash", bench.PersistentEngines, true, 10000, benchRatios, "")
+}
+
+// BenchmarkFig12PersistentQueues — persistent queues including FHMP.
+func BenchmarkFig12PersistentQueues(b *testing.B) {
+	for _, eng := range bench.PersistentEngines {
+		b.Run("ptm/"+eng, func(b *testing.B) {
+			e, _, err := bench.NewPersistent(eng, pmem.StrictMode, 1, benchOpts(1<<18)...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			q := bench.NewTMQueue(e)
+			for i := 0; i < b.N; i++ {
+				reportOps(b, bench.QueueBench(q, bench.QueueConfig{
+					Threads: 4, Duration: benchDur, Prefill: 64,
+				}))
+			}
+		})
+	}
+	b.Run("handmade/FHMP", func(b *testing.B) {
+		q, err := bench.NewHandmadeQueue("FHMP", 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			reportOps(b, bench.QueueBench(q, bench.QueueConfig{
+				Threads: 4, Duration: benchDur, Prefill: 64,
+			}))
+		}
+	})
+}
+
+// BenchmarkFig12KillTest — the kill/respawn resilience test: transactions
+// per second with a worker killed mid-transaction every 20 ms.
+func BenchmarkFig12KillTest(b *testing.B) {
+	for _, eng := range []string{"OF-LF-PTM", "OF-WF-PTM"} {
+		for _, kill := range []bool{false, true} {
+			name := eng + "/nokill"
+			every := time.Duration(0)
+			if kill {
+				name = eng + "/kill"
+				every = 20 * time.Millisecond
+			}
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := bench.KillTest(bench.KillConfig{
+						Engine: eng, Workers: 4, Items: 64,
+						Duration: 200 * time.Millisecond, KillEvery: every,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(res.TxPerSec, "tx/s")
+					b.ReportMetric(float64(res.Kills), "kills")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable1OpCounts — per-transaction pwb/pfence/CAS counts vs N_w,
+// next to the paper's closed-form expectations.
+func BenchmarkTable1OpCounts(b *testing.B) {
+	for _, eng := range bench.PersistentEngines {
+		for _, nw := range []int{1, 4, 16, 64} {
+			b.Run(fmt.Sprintf("%s/Nw=%d", eng, nw), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					got, err := bench.MeasureOpCounts(eng, nw, 200)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(got.Pwb, "pwb/tx")
+					b.ReportMetric(got.Pfence, "pfence/tx")
+					b.ReportMetric(got.CAS, "cas/tx")
+				}
+			})
+		}
+	}
+}
+
+// --- Ablations (design choices called out in DESIGN.md) ---
+
+// BenchmarkAblationWriteSetLookup sweeps the per-transaction store count
+// across the write-set's linear→hash threshold (40): transaction rate must
+// degrade smoothly, not quadratically.
+func BenchmarkAblationWriteSetLookup(b *testing.B) {
+	for _, n := range []int{8, 32, 40, 48, 128, 512} {
+		b.Run(fmt.Sprintf("stores=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.ReportMetric(bench.WriteSetLookup(n, benchDur), "tx/s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDeviceMode compares strict (write-through) and relaxed
+// (buffered) persistence models on the lock-free PTM.
+func BenchmarkAblationDeviceMode(b *testing.B) {
+	for _, mode := range []pmem.Mode{pmem.StrictMode, pmem.RelaxedMode} {
+		name := "strict"
+		if mode == pmem.RelaxedMode {
+			name = "relaxed"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tps, err := bench.DeviceMode(mode, 8, benchDur)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(tps, "tx/s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAggregation compares the lock-free and wait-free engines
+// on a fully serialised workload — the scenario operation aggregation
+// (§III-E) exists for.
+func BenchmarkAblationAggregation(b *testing.B) {
+	for _, eng := range []string{"OF-LF", "OF-WF"} {
+		b.Run(eng, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tps, err := bench.Serialized(eng, 8, benchDur)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(tps, "tx/s")
+			}
+		})
+	}
+}

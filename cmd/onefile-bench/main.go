@@ -1,0 +1,354 @@
+// Command onefile-bench regenerates the figures and the table of the
+// paper's evaluation (§V) and prints each series as an aligned table.
+//
+// Usage:
+//
+//	onefile-bench -fig 2 [-threads 1,2,4,8] [-dur 1s]
+//	onefile-bench -fig 12 -kill
+//	onefile-bench -table 1
+//	onefile-bench -all
+//
+// Figures: 2 (SPS), 3 (SPS+alloc), 4 (queues), 5 (list sets), 6 (trees),
+// 7 (latency percentiles), 8 (persistent SPS), 9 (persistent lists),
+// 10 (persistent trees), 11 (persistent hash), 12 (persistent queues /
+// kill test). Table: 1 (pwb/pfence/CAS per transaction).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"onefile/internal/bench"
+	"onefile/internal/pmem"
+	"onefile/internal/tm"
+)
+
+var (
+	figFlag     = flag.Int("fig", 0, "figure number to regenerate (2-12)")
+	tableFlag   = flag.Int("table", 0, "table number to regenerate (1)")
+	allFlag     = flag.Bool("all", false, "run every figure and table")
+	killFlag    = flag.Bool("kill", false, "with -fig 12: run the kill test instead of the queue throughput")
+	threadsFlag = flag.String("threads", "1,2,4,8", "comma-separated thread counts to sweep")
+	durFlag     = flag.Duration("dur", 500*time.Millisecond, "measurement duration per data point")
+	keysFlag    = flag.Int("keys", 0, "override the working-set size of set benchmarks")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "onefile-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	threads, err := parseThreads(*threadsFlag)
+	if err != nil {
+		return err
+	}
+	if *allFlag {
+		for fig := 2; fig <= 12; fig++ {
+			if err := runFig(fig, threads); err != nil {
+				return err
+			}
+		}
+		return runTable1()
+	}
+	if *tableFlag == 1 {
+		return runTable1()
+	}
+	if *figFlag >= 2 && *figFlag <= 12 {
+		return runFig(*figFlag, threads)
+	}
+	flag.Usage()
+	return fmt.Errorf("pass -fig 2..12, -table 1 or -all")
+}
+
+func parseThreads(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func opts(heap int) []tm.Option {
+	return []tm.Option{
+		tm.WithHeapWords(heap),
+		tm.WithMaxThreads(64),
+		// Large enough for the hash set's biggest one-transaction resize
+		// (relinking ~4k nodes plus zeroing the new bucket block).
+		tm.WithMaxStores(1 << 15),
+	}
+}
+
+func header(title string, cols ...string) {
+	fmt.Printf("\n== %s ==\n", title)
+	fmt.Printf("%-14s", "series")
+	for _, c := range cols {
+		fmt.Printf(" %12s", c)
+	}
+	fmt.Println()
+}
+
+func row(series string, vals ...float64) {
+	fmt.Printf("%-14s", series)
+	for _, v := range vals {
+		fmt.Printf(" %12.0f", v)
+	}
+	fmt.Println()
+}
+
+func runFig(fig int, threads []int) error {
+	switch fig {
+	case 2, 3:
+		alloc := fig == 3
+		title := "Fig. 2: SPS (volatile), swaps/s"
+		if alloc {
+			title = "Fig. 3: SPS with allocation (volatile), swaps/s"
+		}
+		swaps := []int{1, 4, 16, 64, 256}
+		for _, th := range threads {
+			header(fmt.Sprintf("%s — %d threads", title, th),
+				labels("r=", swaps)...)
+			for _, eng := range bench.VolatileEngines {
+				vals := make([]float64, 0, len(swaps))
+				for _, r := range swaps {
+					e, err := bench.NewVolatile(eng, opts(1<<20)...)
+					if err != nil {
+						return err
+					}
+					vals = append(vals, bench.SPS(e, bench.SPSConfig{
+						Entries: 1000, SwapsPerTx: r, Threads: th,
+						Duration: *durFlag, Alloc: alloc,
+					}))
+				}
+				row(eng, vals...)
+			}
+		}
+	case 4:
+		header("Fig. 4: queues (volatile), enq/deq pairs/s", labels("t=", threads)...)
+		for _, eng := range bench.VolatileEngines {
+			vals := make([]float64, 0, len(threads))
+			for _, th := range threads {
+				e, err := bench.NewVolatile(eng, opts(1<<22)...)
+				if err != nil {
+					return err
+				}
+				vals = append(vals, bench.QueueBench(bench.NewTMQueue(e),
+					bench.QueueConfig{Threads: th, Duration: *durFlag, Prefill: 128}))
+			}
+			row(eng, vals...)
+		}
+		for _, hm := range []string{"MSQueue", "WFQueue", "FAAQueue", "LCRQ"} {
+			vals := make([]float64, 0, len(threads))
+			for _, th := range threads {
+				q, err := bench.NewHandmadeQueue(hm, 64)
+				if err != nil {
+					return err
+				}
+				vals = append(vals, bench.QueueBench(q,
+					bench.QueueConfig{Threads: th, Duration: *durFlag, Prefill: 128}))
+			}
+			row(hm, vals...)
+		}
+	case 5, 6:
+		kind, keys, hm, title := "list", 1000, "Harris-HE", "Fig. 5: linked-list sets (volatile), ops/s"
+		if fig == 6 {
+			kind, keys, hm, title = "tree", 10000, "NataHE", "Fig. 6: tree sets (volatile), ops/s"
+		}
+		if *keysFlag > 0 {
+			keys = *keysFlag
+		}
+		return setSweep(title, kind, keys, bench.VolatileEngines, false, hm, threads)
+	case 7:
+		cols := make([]string, len(bench.Percentiles))
+		for i, p := range bench.Percentiles {
+			cols[i] = fmt.Sprintf("p%v µs", p)
+		}
+		for _, th := range threads {
+			header(fmt.Sprintf("Fig. 7: latency percentiles — %d threads", th), cols...)
+			for _, eng := range bench.VolatileEngines {
+				e, err := bench.NewVolatile(eng, opts(1<<16)...)
+				if err != nil {
+					return err
+				}
+				ps := bench.Latency(e, bench.LatencyConfig{Counters: 64, Threads: th, PerThread: 2000})
+				row(eng, ps...)
+			}
+		}
+	case 8:
+		swaps := []int{1, 4, 16, 64, 256}
+		for _, th := range threads {
+			header(fmt.Sprintf("Fig. 8: persistent SPS — %d threads, swaps/s", th),
+				labels("r=", swaps)...)
+			for _, eng := range bench.PersistentEngines {
+				vals := make([]float64, 0, len(swaps))
+				for _, r := range swaps {
+					e, _, err := bench.NewPersistent(eng, pmem.StrictMode, 1, opts(1<<21)...)
+					if err != nil {
+						return err
+					}
+					vals = append(vals, bench.SPS(e, bench.SPSConfig{
+						Entries: 1000000, SwapsPerTx: r, Threads: th, Duration: *durFlag,
+					}))
+				}
+				row(eng, vals...)
+			}
+		}
+	case 9:
+		keys := 1000
+		if *keysFlag > 0 {
+			keys = *keysFlag
+		}
+		return setSweep("Fig. 9: persistent linked-list sets, ops/s", "list", keys,
+			bench.PersistentEngines, true, "", threads)
+	case 10:
+		keys := 100000 // the paper fills 10^6; reduce via -keys for quick runs
+		if *keysFlag > 0 {
+			keys = *keysFlag
+		}
+		return setSweep("Fig. 10: persistent red-black trees, ops/s", "tree", keys,
+			bench.PersistentEngines, true, "", threads)
+	case 11:
+		keys := 10000
+		if *keysFlag > 0 {
+			keys = *keysFlag
+		}
+		return setSweep("Fig. 11: persistent hash sets, ops/s", "hash", keys,
+			bench.PersistentEngines, true, "", threads)
+	case 12:
+		if *killFlag {
+			header("Fig. 12 (right): two-queue transfer with kills, tx/s", labels("N=", threads)...)
+			for _, eng := range []string{"OF-LF-PTM", "OF-WF-PTM"} {
+				for _, kill := range []bool{false, true} {
+					every := time.Duration(0)
+					suffix := " no-kill"
+					if kill {
+						every = 100 * time.Millisecond
+						suffix = " kill"
+					}
+					vals := make([]float64, 0, len(threads))
+					for _, th := range threads {
+						res, err := bench.KillTest(bench.KillConfig{
+							Engine: eng, Workers: th, Items: 1000,
+							Duration: *durFlag, KillEvery: every,
+						})
+						if err != nil {
+							return err
+						}
+						vals = append(vals, res.TxPerSec)
+					}
+					row(eng+suffix, vals...)
+				}
+			}
+			return nil
+		}
+		header("Fig. 12 (left): persistent queues, enq/deq pairs/s", labels("t=", threads)...)
+		for _, eng := range bench.PersistentEngines {
+			vals := make([]float64, 0, len(threads))
+			for _, th := range threads {
+				e, _, err := bench.NewPersistent(eng, pmem.StrictMode, 1, opts(1<<21)...)
+				if err != nil {
+					return err
+				}
+				vals = append(vals, bench.QueueBench(bench.NewTMQueue(e),
+					bench.QueueConfig{Threads: th, Duration: *durFlag, Prefill: 128}))
+			}
+			row(eng, vals...)
+		}
+		vals := make([]float64, 0, len(threads))
+		for _, th := range threads {
+			q, err := bench.NewHandmadeQueue("FHMP", 64)
+			if err != nil {
+				return err
+			}
+			vals = append(vals, bench.QueueBench(q,
+				bench.QueueConfig{Threads: th, Duration: *durFlag, Prefill: 128}))
+		}
+		row("FHMP", vals...)
+	default:
+		return fmt.Errorf("unknown figure %d", fig)
+	}
+	return nil
+}
+
+func setSweep(title, kind string, keys int, engines []string, persistent bool, handmade string, threads []int) error {
+	ratios := []float64{1, 0.5, 0.1, 0.01, 0.001, 0}
+	for _, ratio := range ratios {
+		header(fmt.Sprintf("%s — update ratio %g%%", title, ratio*100), labels("t=", threads)...)
+		for _, eng := range engines {
+			vals := make([]float64, 0, len(threads))
+			for _, th := range threads {
+				var (
+					e   tm.Engine
+					err error
+				)
+				if persistent {
+					e, _, err = bench.NewPersistent(eng, pmem.StrictMode, 1, opts(1<<22)...)
+				} else {
+					e, err = bench.NewVolatile(eng, opts(1<<22)...)
+				}
+				if err != nil {
+					return err
+				}
+				s, err := bench.NewTMSet(e, kind)
+				if err != nil {
+					return err
+				}
+				vals = append(vals, bench.SetBench(s, bench.SetConfig{
+					Keys: keys, UpdateRatio: ratio, Threads: th, Duration: *durFlag,
+				}))
+			}
+			row(eng, vals...)
+		}
+		if handmade != "" {
+			vals := make([]float64, 0, len(threads))
+			for _, th := range threads {
+				s, err := bench.NewHandmadeSet(kind, 64)
+				if err != nil {
+					return err
+				}
+				vals = append(vals, bench.SetBench(s, bench.SetConfig{
+					Keys: keys, UpdateRatio: ratio, Threads: th, Duration: *durFlag,
+				}))
+			}
+			row(handmade, vals...)
+		}
+	}
+	return nil
+}
+
+func runTable1() error {
+	fmt.Println("\n== Table I: persistence instructions per update transaction ==")
+	fmt.Printf("%-12s %4s  %18s %18s %18s\n", "engine", "Nw",
+		"pwb (got/paper)", "pfence (got/paper)", "CAS (got/paper)")
+	for _, eng := range bench.PersistentEngines {
+		for _, nw := range []int{1, 4, 16, 64} {
+			got, err := bench.MeasureOpCounts(eng, nw, 300)
+			if err != nil {
+				return err
+			}
+			pw, pf, cas := bench.PaperOpCounts(eng, nw)
+			fmt.Printf("%-12s %4d  %8.2f / %-7.2f %8.2f / %-7.2f %8.2f / %-7.2f\n",
+				eng, nw, got.Pwb, pw, got.Pfence, pf, got.CAS, cas)
+		}
+	}
+	return nil
+}
+
+func labels[T any](prefix string, xs []T) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprintf("%s%v", prefix, x)
+	}
+	return out
+}

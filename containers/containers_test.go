@@ -1,0 +1,553 @@
+package containers
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"onefile/internal/core"
+	"onefile/internal/pmem"
+	"onefile/internal/tl2"
+	"onefile/internal/tm"
+)
+
+var testOpts = []tm.Option{
+	tm.WithHeapWords(1 << 17),
+	tm.WithMaxThreads(16),
+	tm.WithMaxStores(1 << 12),
+}
+
+// engines returns one engine of each volatile kind plus a persistent
+// OneFile; the containers must behave identically on all of them.
+func engines(t *testing.T) map[string]Engine {
+	t.Helper()
+	dev, err := pmem.New(core.DeviceConfig(pmem.StrictMode, 7, testOpts...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptm, err := core.NewPersistentLF(dev, false, testOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Engine{
+		"OF-LF":     core.NewLF(testOpts...),
+		"OF-WF":     core.NewWF(testOpts...),
+		"TinySTM":   tl2.New(testOpts...),
+		"OF-LF-PTM": ptm,
+	}
+}
+
+func forEach(t *testing.T, f func(t *testing.T, e Engine)) {
+	for name, e := range engines(t) {
+		t.Run(name, func(t *testing.T) { f(t, e) })
+	}
+}
+
+// --- Queue ---
+
+func TestQueueFIFO(t *testing.T) {
+	forEach(t, func(t *testing.T, e Engine) {
+		q := NewQueue(e, 0)
+		if _, ok := q.Dequeue(); ok {
+			t.Fatal("dequeue on empty succeeded")
+		}
+		for i := uint64(1); i <= 100; i++ {
+			q.Enqueue(i)
+		}
+		if q.Len() != 100 {
+			t.Fatalf("Len = %d", q.Len())
+		}
+		if v, ok := q.Peek(); !ok || v != 1 {
+			t.Fatalf("Peek = %d,%v", v, ok)
+		}
+		for i := uint64(1); i <= 100; i++ {
+			v, ok := q.Dequeue()
+			if !ok || v != i {
+				t.Fatalf("Dequeue = %d,%v want %d", v, ok, i)
+			}
+		}
+		if q.Len() != 0 {
+			t.Fatalf("Len after drain = %d", q.Len())
+		}
+	})
+}
+
+func TestQueueSnapshotAndDrain(t *testing.T) {
+	forEach(t, func(t *testing.T, e Engine) {
+		q := NewQueue(e, 0)
+		for i := uint64(0); i < 10; i++ {
+			q.Enqueue(i * 2)
+		}
+		snap := q.Snapshot(5)
+		if len(snap) != 5 {
+			t.Fatalf("snapshot len = %d", len(snap))
+		}
+		for i, v := range snap {
+			if v != uint64(i*2) {
+				t.Fatalf("snap[%d] = %d", i, v)
+			}
+		}
+		if n := q.Drain(); n != 10 {
+			t.Fatalf("Drain = %d", n)
+		}
+		if q.Len() != 0 {
+			t.Fatal("queue not empty after drain")
+		}
+	})
+}
+
+// TestQueuePerProducerOrder: FIFO per producer under concurrency, and total
+// conservation of items.
+func TestQueuePerProducerOrder(t *testing.T) {
+	forEach(t, func(t *testing.T, e Engine) {
+		q := NewQueue(e, 0)
+		const producers, per = 4, 200
+		var wg sync.WaitGroup
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(p uint64) {
+				defer wg.Done()
+				for i := uint64(0); i < per; i++ {
+					q.Enqueue(p<<32 | i)
+				}
+			}(uint64(p))
+		}
+		var mu sync.Mutex
+		got := map[uint64][]uint64{}
+		var cg sync.WaitGroup
+		for c := 0; c < 4; c++ {
+			cg.Add(1)
+			go func() {
+				defer cg.Done()
+				local := map[uint64][]uint64{}
+				misses := 0
+				for misses < 1000 {
+					v, ok := q.Dequeue()
+					if !ok {
+						misses++
+						continue
+					}
+					local[v>>32] = append(local[v>>32], v&0xFFFFFFFF)
+				}
+				mu.Lock()
+				for k, vs := range local {
+					got[k] = append(got[k], vs...)
+				}
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		cg.Wait()
+		// Drain leftovers.
+		for {
+			v, ok := q.Dequeue()
+			if !ok {
+				break
+			}
+			got[v>>32] = append(got[v>>32], v&0xFFFFFFFF)
+		}
+		total := 0
+		for p := uint64(0); p < producers; p++ {
+			total += len(got[p])
+			seen := map[uint64]bool{}
+			for _, v := range got[p] {
+				if seen[v] {
+					t.Fatalf("duplicate item %d from producer %d", v, p)
+				}
+				seen[v] = true
+			}
+		}
+		if total != producers*per {
+			t.Fatalf("items conserved: got %d, want %d", total, producers*per)
+		}
+	})
+}
+
+// --- Stack ---
+
+func TestStackLIFO(t *testing.T) {
+	forEach(t, func(t *testing.T, e Engine) {
+		s := NewStack(e, 1)
+		if _, ok := s.Pop(); ok {
+			t.Fatal("pop on empty succeeded")
+		}
+		for i := uint64(1); i <= 50; i++ {
+			s.Push(i)
+		}
+		if v, ok := s.Peek(); !ok || v != 50 {
+			t.Fatalf("Peek = %d,%v", v, ok)
+		}
+		for i := uint64(50); i >= 1; i-- {
+			v, ok := s.Pop()
+			if !ok || v != i {
+				t.Fatalf("Pop = %d,%v want %d", v, ok, i)
+			}
+		}
+		if s.Len() != 0 {
+			t.Fatal("stack not empty")
+		}
+	})
+}
+
+// --- ListSet ---
+
+func TestListSetSemantics(t *testing.T) {
+	forEach(t, func(t *testing.T, e Engine) {
+		s := NewListSet(e, 2)
+		if !s.Add(5) || s.Add(5) {
+			t.Fatal("add semantics broken")
+		}
+		if !s.Contains(5) || s.Contains(6) {
+			t.Fatal("contains semantics broken")
+		}
+		if !s.Remove(5) || s.Remove(5) {
+			t.Fatal("remove semantics broken")
+		}
+		for _, k := range []uint64{9, 3, 7, 1, 5} {
+			s.Add(k)
+		}
+		keys := s.Keys(100)
+		want := []uint64{1, 3, 5, 7, 9}
+		if len(keys) != len(want) {
+			t.Fatalf("Keys = %v", keys)
+		}
+		for i := range want {
+			if keys[i] != want[i] {
+				t.Fatalf("Keys = %v, want sorted %v", keys, want)
+			}
+		}
+		if s.Len() != 5 {
+			t.Fatalf("Len = %d", s.Len())
+		}
+	})
+}
+
+// --- HashSet ---
+
+func TestHashSetSemanticsAndResize(t *testing.T) {
+	forEach(t, func(t *testing.T, e Engine) {
+		h := NewHashSet(e, 3)
+		b0 := h.Buckets()
+		const n = 600
+		for i := uint64(0); i < n; i++ {
+			if !h.AddTxWrap(i * 7) {
+				t.Fatalf("add %d failed", i*7)
+			}
+		}
+		if h.Buckets() <= b0 {
+			t.Fatalf("hash set never resized (buckets=%d)", h.Buckets())
+		}
+		if h.Len() != n {
+			t.Fatalf("Len = %d, want %d", h.Len(), n)
+		}
+		for i := uint64(0); i < n; i++ {
+			if !h.Contains(i * 7) {
+				t.Fatalf("lost key %d after resize", i*7)
+			}
+			if h.Contains(i*7 + 1) {
+				t.Fatalf("phantom key %d", i*7+1)
+			}
+		}
+		for i := uint64(0); i < n; i += 2 {
+			if !h.Remove(i * 7) {
+				t.Fatalf("remove %d failed", i*7)
+			}
+		}
+		if h.Len() != n/2 {
+			t.Fatalf("Len after removes = %d", h.Len())
+		}
+	})
+}
+
+// AddTxWrap is a helper so the resize test reads naturally.
+func (h *HashSet) AddTxWrap(k uint64) bool { return h.Add(k) }
+
+// --- RBTree ---
+
+func TestRBTreeSemantics(t *testing.T) {
+	forEach(t, func(t *testing.T, e Engine) {
+		tr := NewRBTree(e, 4)
+		if _, ok := tr.Min(); ok {
+			t.Fatal("Min on empty succeeded")
+		}
+		for _, k := range []uint64{10, 5, 15, 3, 8, 12, 20, 1} {
+			if !tr.Add(k) {
+				t.Fatalf("add %d failed", k)
+			}
+		}
+		if tr.Add(10) {
+			t.Fatal("duplicate add succeeded")
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if mn, _ := tr.Min(); mn != 1 {
+			t.Fatalf("Min = %d", mn)
+		}
+		if mx, _ := tr.Max(); mx != 20 {
+			t.Fatalf("Max = %d", mx)
+		}
+		keys := tr.Keys(100)
+		for i := 1; i < len(keys); i++ {
+			if keys[i-1] >= keys[i] {
+				t.Fatalf("Keys not ascending: %v", keys)
+			}
+		}
+		if !tr.Remove(10) || tr.Remove(10) {
+			t.Fatal("remove semantics broken")
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestRBTreeRandomOpsInvariants drives the tree through a long random
+// add/remove sequence, checking against a model map and the red-black
+// invariants along the way.
+func TestRBTreeRandomOpsInvariants(t *testing.T) {
+	forEach(t, func(t *testing.T, e Engine) {
+		tr := NewRBTree(e, 4)
+		model := map[uint64]bool{}
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < 3000; i++ {
+			k := uint64(rng.Intn(300))
+			if rng.Intn(2) == 0 {
+				if tr.Add(k) == model[k] {
+					t.Fatalf("step %d: Add(%d) disagrees with model", i, k)
+				}
+				model[k] = true
+			} else {
+				if tr.Remove(k) != model[k] {
+					t.Fatalf("step %d: Remove(%d) disagrees with model", i, k)
+				}
+				delete(model, k)
+			}
+			if i%250 == 0 {
+				if err := tr.CheckInvariants(); err != nil {
+					t.Fatalf("step %d: %v", i, err)
+				}
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() != len(model) {
+			t.Fatalf("Len = %d, model = %d", tr.Len(), len(model))
+		}
+		for k := range model {
+			if !tr.Contains(k) {
+				t.Fatalf("missing key %d", k)
+			}
+		}
+	})
+}
+
+// TestQuickRBTreeMatchesModel: property — any operation sequence leaves the
+// tree equivalent to a set model with valid invariants.
+func TestQuickRBTreeMatchesModel(t *testing.T) {
+	e := core.NewLF(testOpts...)
+	slot := 5
+	f := func(ops []uint16) bool {
+		tr := NewRBTree(e, slot)
+		// The tree root slot is reused across quick iterations, so empty
+		// it before the next run.
+		defer func() {
+			for _, k := range tr.Keys(1 << 20) {
+				tr.Remove(k)
+			}
+		}()
+		model := map[uint64]bool{}
+		for _, op := range ops {
+			k := uint64(op % 64)
+			if op%2 == 0 {
+				if tr.Add(k) == model[k] {
+					return false
+				}
+				model[k] = true
+			} else {
+				if tr.Remove(k) != model[k] {
+					return false
+				}
+				delete(model, k)
+			}
+		}
+		if tr.CheckInvariants() != nil {
+			return false
+		}
+		return tr.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Concurrency over sets ---
+
+func TestSetsConcurrent(t *testing.T) {
+	forEach(t, func(t *testing.T, e Engine) {
+		ls := NewListSet(e, 6)
+		hs := NewHashSet(e, 7)
+		tr := NewRBTree(e, 8)
+		type set interface {
+			Add(uint64) bool
+			Remove(uint64) bool
+			Contains(uint64) bool
+			Len() int
+		}
+		for _, s := range []set{ls, hs, tr} {
+			var wg sync.WaitGroup
+			var added, removed sync.Map
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(w)))
+					for i := 0; i < 150; i++ {
+						k := uint64(w*1000 + rng.Intn(200)) // disjoint per worker
+						if rng.Intn(2) == 0 {
+							if s.Add(k) {
+								added.Store(k, true)
+								removed.Delete(k)
+							}
+						} else {
+							if s.Remove(k) {
+								removed.Store(k, true)
+								added.Delete(k)
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			count := 0
+			added.Range(func(k, _ any) bool {
+				count++
+				if !s.Contains(k.(uint64)) {
+					t.Fatalf("set lost key %d", k)
+				}
+				return true
+			})
+			if s.Len() != count {
+				t.Fatalf("Len = %d, want %d", s.Len(), count)
+			}
+		}
+	})
+}
+
+// TestCrossContainerAtomicity: the paper's two-queue transfer (§V-B) — an
+// item moves between queues atomically; readers never see it in both or
+// neither (total count constant).
+func TestCrossContainerAtomicity(t *testing.T) {
+	forEach(t, func(t *testing.T, e Engine) {
+		q1 := NewQueue(e, 9)
+		q2 := NewQueue(e, 10)
+		const items = 50
+		for i := uint64(0); i < items; i++ {
+			q1.Enqueue(i)
+		}
+		stop := make(chan struct{})
+		bad := make(chan int, 1)
+		var rg sync.WaitGroup
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				total := e.Read(func(tx Tx) uint64 {
+					return uint64(q1.LenTx(tx) + q2.LenTx(tx))
+				})
+				if total != items {
+					select {
+					case bad <- int(total):
+					default:
+					}
+				}
+			}
+		}()
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 200; i++ {
+					e.Update(func(tx Tx) uint64 {
+						if v, ok := q1.DequeueTx(tx); ok {
+							q2.EnqueueTx(tx, v)
+						} else if v, ok := q2.DequeueTx(tx); ok {
+							q1.EnqueueTx(tx, v)
+						}
+						return 0
+					})
+				}
+			}()
+		}
+		wg.Wait()
+		close(stop)
+		rg.Wait()
+		select {
+		case n := <-bad:
+			t.Fatalf("reader observed %d items in flight, want %d", n, items)
+		default:
+		}
+		if q1.Len()+q2.Len() != items {
+			t.Fatalf("final total = %d", q1.Len()+q2.Len())
+		}
+	})
+}
+
+// TestPersistentContainersSurviveCrash builds all five containers on a
+// persistent engine, crashes, re-attaches, and verifies contents.
+func TestPersistentContainersSurviveCrash(t *testing.T) {
+	dev, err := pmem.New(core.DeviceConfig(pmem.RelaxedMode, 3, testOpts...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewPersistentWF(dev, false, testOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewQueue(e, 0)
+	st := NewStack(e, 1)
+	ls := NewListSet(e, 2)
+	hs := NewHashSet(e, 3)
+	tr := NewRBTree(e, 4)
+	for i := uint64(1); i <= 40; i++ {
+		q.Enqueue(i)
+		st.Push(i)
+		ls.Add(i)
+		hs.Add(i)
+		tr.Add(i)
+	}
+	dev.Crash()
+	r, err := core.NewPersistentWF(dev, true, testOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2 := NewQueue(r, 0)
+	st2 := NewStack(r, 1)
+	ls2 := NewListSet(r, 2)
+	hs2 := NewHashSet(r, 3)
+	tr2 := NewRBTree(r, 4)
+	if q2.Len() != 40 || st2.Len() != 40 || ls2.Len() != 40 || hs2.Len() != 40 || tr2.Len() != 40 {
+		t.Fatalf("recovered lengths: q=%d st=%d ls=%d hs=%d tr=%d",
+			q2.Len(), st2.Len(), ls2.Len(), hs2.Len(), tr2.Len())
+	}
+	if v, ok := q2.Dequeue(); !ok || v != 1 {
+		t.Fatalf("queue head after crash = %d,%v", v, ok)
+	}
+	if v, ok := st2.Pop(); !ok || v != 40 {
+		t.Fatalf("stack top after crash = %d,%v", v, ok)
+	}
+	if !ls2.Contains(17) || !hs2.Contains(17) || !tr2.Contains(17) {
+		t.Fatal("sets lost keys across crash")
+	}
+	if err := tr2.CheckInvariants(); err != nil {
+		t.Fatalf("recovered tree invalid: %v", err)
+	}
+}

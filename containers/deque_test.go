@@ -1,0 +1,150 @@
+package containers
+
+import (
+	"container/list"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestDequeBothEnds(t *testing.T) {
+	forEach(t, func(t *testing.T, e Engine) {
+		d := NewDeque(e, 12)
+		if _, ok := d.PopFront(); ok {
+			t.Fatal("pop on empty succeeded")
+		}
+		d.PushBack(2)
+		d.PushFront(1)
+		d.PushBack(3) // [1 2 3]
+		if f, _ := d.Front(); f != 1 {
+			t.Fatalf("Front = %d", f)
+		}
+		if b, _ := d.Back(); b != 3 {
+			t.Fatalf("Back = %d", b)
+		}
+		if got := d.Snapshot(10); len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+			t.Fatalf("Snapshot = %v", got)
+		}
+		if v, _ := d.PopBack(); v != 3 {
+			t.Fatalf("PopBack = %d", v)
+		}
+		if v, _ := d.PopFront(); v != 1 {
+			t.Fatalf("PopFront = %d", v)
+		}
+		if v, _ := d.PopFront(); v != 2 {
+			t.Fatalf("PopFront = %d", v)
+		}
+		if d.Len() != 0 {
+			t.Fatalf("Len = %d", d.Len())
+		}
+	})
+}
+
+// TestDequeRandomModel drives the deque against container/list.
+func TestDequeRandomModel(t *testing.T) {
+	forEach(t, func(t *testing.T, e Engine) {
+		d := NewDeque(e, 12)
+		model := list.New()
+		rng := rand.New(rand.NewSource(21))
+		for i := 0; i < 4000; i++ {
+			v := uint64(rng.Intn(1 << 20))
+			switch rng.Intn(4) {
+			case 0:
+				d.PushFront(v)
+				model.PushFront(v)
+			case 1:
+				d.PushBack(v)
+				model.PushBack(v)
+			case 2:
+				got, ok := d.PopFront()
+				if f := model.Front(); f == nil {
+					if ok {
+						t.Fatalf("step %d: PopFront on empty returned %d", i, got)
+					}
+				} else {
+					model.Remove(f)
+					if !ok || got != f.Value.(uint64) {
+						t.Fatalf("step %d: PopFront = %d,%v want %d", i, got, ok, f.Value)
+					}
+				}
+			default:
+				got, ok := d.PopBack()
+				if b := model.Back(); b == nil {
+					if ok {
+						t.Fatalf("step %d: PopBack on empty returned %d", i, got)
+					}
+				} else {
+					model.Remove(b)
+					if !ok || got != b.Value.(uint64) {
+						t.Fatalf("step %d: PopBack = %d,%v want %d", i, got, ok, b.Value)
+					}
+				}
+			}
+			if i%500 == 0 && d.Len() != model.Len() {
+				t.Fatalf("step %d: Len = %d, model %d", i, d.Len(), model.Len())
+			}
+		}
+		// Full structural check, including back-links.
+		snap := d.Snapshot(1 << 20)
+		if len(snap) != model.Len() {
+			t.Fatalf("final Snapshot len %d, model %d", len(snap), model.Len())
+		}
+		i := 0
+		for f := model.Front(); f != nil; f = f.Next() {
+			if snap[i] != f.Value.(uint64) {
+				t.Fatalf("snapshot[%d] = %d, want %d", i, snap[i], f.Value)
+			}
+			i++
+		}
+	})
+}
+
+// TestDequeConcurrentConservation: pushes and pops from both ends on many
+// goroutines conserve items.
+func TestDequeConcurrentConservation(t *testing.T) {
+	forEach(t, func(t *testing.T, e Engine) {
+		d := NewDeque(e, 12)
+		const workers, per = 4, 250
+		var popped sync.Map
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(w)))
+				for i := 0; i < per; i++ {
+					v := uint64(w)<<32 | uint64(i)
+					if rng.Intn(2) == 0 {
+						d.PushFront(v)
+					} else {
+						d.PushBack(v)
+					}
+					if rng.Intn(2) == 0 {
+						if got, ok := d.PopFront(); ok {
+							if _, dup := popped.LoadOrStore(got, true); dup {
+								t.Errorf("value %d popped twice", got)
+							}
+						}
+					} else {
+						if got, ok := d.PopBack(); ok {
+							if _, dup := popped.LoadOrStore(got, true); dup {
+								t.Errorf("value %d popped twice", got)
+							}
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		n := 0
+		popped.Range(func(_, _ any) bool { n++; return true })
+		if n+d.Len() != workers*per {
+			t.Fatalf("conservation: %d popped + %d left != %d", n, d.Len(), workers*per)
+		}
+		// Structure must still be a well-formed doubly linked list.
+		snap := d.Snapshot(1 << 20)
+		if len(snap) != d.Len() {
+			t.Fatalf("snapshot %d values, Len %d (broken links?)", len(snap), d.Len())
+		}
+	})
+}

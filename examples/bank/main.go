@@ -1,0 +1,107 @@
+// Bank: durable ACID transfers on the wait-free persistent engine.
+//
+// A fixed pool of accounts lives in emulated NVM. Concurrent workers move
+// random amounts between random accounts; the total balance is an invariant
+// that must hold at every readable instant and across crashes. The demo
+// crashes the "machine" several times mid-workload and re-attaches — the
+// OneFile PTM needs no recovery code (null recovery): attaching simply
+// finishes the last committed transaction if its apply phase was cut short.
+//
+//	go run ./examples/bank
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+
+	"onefile"
+)
+
+const (
+	accounts          = 64
+	initial           = 1000
+	rounds            = 5
+	transfersPerRound = 2000
+)
+
+func main() {
+	nvm, err := onefile.NewNVM(onefile.Relaxed, 2024,
+		onefile.WithHeapWords(1<<16))
+	if err != nil {
+		log.Fatal(err)
+	}
+	e, err := nvm.OpenWaitFree(false)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The account table is a block of words reachable from root slot 0.
+	table := onefile.Ptr(e.Update(func(tx onefile.Tx) uint64 {
+		t := tx.Alloc(accounts)
+		for i := 0; i < accounts; i++ {
+			tx.Store(t+onefile.Ptr(i), initial)
+		}
+		tx.Store(onefile.Root(0), uint64(t))
+		return uint64(t)
+	}))
+
+	totalOf := func(e onefile.Engine, table onefile.Ptr) uint64 {
+		return e.Read(func(tx onefile.Tx) uint64 {
+			var sum uint64
+			for i := 0; i < accounts; i++ {
+				sum += tx.Load(table + onefile.Ptr(i))
+			}
+			return sum
+		})
+	}
+
+	for round := 1; round <= rounds; round++ {
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < transfersPerRound; i++ {
+					from := onefile.Ptr(rng.Intn(accounts))
+					to := onefile.Ptr(rng.Intn(accounts))
+					amount := uint64(rng.Intn(20))
+					e.Update(func(tx onefile.Tx) uint64 {
+						a := tx.Load(table + from)
+						if a < amount {
+							return 0 // insufficient funds; no-op
+						}
+						tx.Store(table+from, a-amount)
+						tx.Store(table+to, tx.Load(table+to)+amount)
+						return 1
+					})
+				}
+			}(int64(round*10 + w))
+		}
+		wg.Wait()
+
+		if got := totalOf(e, table); got != accounts*initial {
+			log.Fatalf("round %d: invariant broken before crash: %d", round, got)
+		}
+
+		// Power failure. Everything not durable is gone.
+		nvm.Crash()
+		e, err = nvm.OpenWaitFree(true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		table = onefile.Ptr(e.Read(func(tx onefile.Tx) uint64 {
+			return tx.Load(onefile.Root(0))
+		}))
+		got := totalOf(e, table)
+		fmt.Printf("round %d: crash + recover OK, total balance = %d (want %d)\n",
+			round, got, accounts*initial)
+		if got != accounts*initial {
+			log.Fatal("conservation violated after recovery")
+		}
+	}
+	pwb, pfence := nvm.PersistStats()
+	fmt.Printf("device totals: %d pwb, %d pfence (OneFile commits are fence-free)\n", pwb, pfence)
+}

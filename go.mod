@@ -1,0 +1,3 @@
+module onefile
+
+go 1.23

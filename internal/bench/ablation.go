@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"time"
+
+	"onefile/internal/core"
+	"onefile/internal/pmem"
+	"onefile/internal/tm"
+)
+
+// This file holds ablation workloads for the design choices DESIGN.md calls
+// out: the write-set's linear→hash lookup threshold (§III-A "less than 40
+// stores do a linear lookup"), the cost of the relaxed (buffered) versus
+// strict (write-through) persistence model, and the serialised-workload
+// benefit of wait-free operation aggregation.
+
+// WriteSetLookup measures single-threaded transactions that perform n
+// stores followed by n re-loads of the same words — the access pattern the
+// intrusive hash index exists for — and returns transactions per second.
+// Sweeping n across the linear-lookup threshold exposes the quadratic blow-
+// up a pure linear write-set would suffer.
+func WriteSetLookup(n int, dur time.Duration) float64 {
+	e := core.NewLF(
+		tm.WithHeapWords(1<<18),
+		tm.WithMaxThreads(4),
+		tm.WithMaxStores(1<<14),
+	)
+	block := tm.Ptr(e.Update(func(tx tm.Tx) uint64 {
+		return uint64(tx.Alloc(n))
+	}))
+	stop := time.Now().Add(dur)
+	txs := 0
+	for time.Now().Before(stop) {
+		e.Update(func(tx tm.Tx) uint64 {
+			for i := 0; i < n; i++ {
+				tx.Store(block+tm.Ptr(i), uint64(i))
+			}
+			var sink uint64
+			for i := 0; i < n; i++ {
+				sink += tx.Load(block + tm.Ptr(i))
+			}
+			return sink
+		})
+		txs++
+	}
+	return float64(txs) / dur.Seconds()
+}
+
+// DeviceMode measures persistent update transactions per second under the
+// strict (write-through) and relaxed (buffered-until-ordering-point)
+// persistence models; the difference is the simulated cost of synchronous
+// flushing.
+func DeviceMode(mode pmem.Mode, nw int, dur time.Duration) (float64, error) {
+	opts := []tm.Option{
+		tm.WithHeapWords(1 << 16),
+		tm.WithMaxThreads(4),
+		tm.WithMaxStores(1 << 10),
+	}
+	e, _, err := NewPersistent("OF-LF-PTM", mode, 1, opts...)
+	if err != nil {
+		return 0, err
+	}
+	block := tm.Ptr(e.Update(func(tx tm.Tx) uint64 {
+		return uint64(tx.Alloc(nw))
+	}))
+	stop := time.Now().Add(dur)
+	txs := 0
+	for time.Now().Before(stop) {
+		e.Update(func(tx tm.Tx) uint64 {
+			for i := 0; i < nw; i++ {
+				tx.Store(block+tm.Ptr(i), uint64(txs))
+			}
+			return 0
+		})
+		txs++
+	}
+	return float64(txs) / dur.Seconds(), nil
+}
+
+// Serialized measures the fully serialised counter workload (every
+// transaction increments the same counters) on a given engine and returns
+// transactions per second. Comparing OF-LF with OF-WF isolates the benefit
+// of operation aggregation under serialisation, the effect behind Fig. 7's
+// tail-latency gap.
+func Serialized(engine string, threads int, dur time.Duration) (float64, error) {
+	e, err := NewVolatile(engine,
+		tm.WithHeapWords(1<<16),
+		tm.WithMaxThreads(64),
+		tm.WithMaxStores(1<<10),
+	)
+	if err != nil {
+		return 0, err
+	}
+	cfg := LatencyConfig{Counters: 16, Threads: threads, PerThread: int(dur / (10 * time.Microsecond) / time.Duration(threads))}
+	start := time.Now()
+	Latency(e, cfg)
+	elapsed := time.Since(start).Seconds()
+	total := float64(cfg.Threads * cfg.PerThread)
+	return total / elapsed, nil
+}

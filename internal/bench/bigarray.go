@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"onefile/internal/talloc"
+	"onefile/internal/tm"
+)
+
+// bigArray is a transactional array larger than the allocator's maximum
+// block: a table of fixed-size segments. The SPS benchmarks use it for
+// their 10^3..10^6-entry integer arrays.
+type bigArray struct {
+	e     tm.Engine
+	table tm.Ptr // block of segment pointers
+	segs  int
+	n     int
+}
+
+const segWords = talloc.MaxPayload
+
+// newBigArray creates (or attaches to) an n-entry array anchored at
+// rootSlot.
+func newBigArray(e tm.Engine, rootSlot, n int) *bigArray {
+	segs := (n + segWords - 1) / segWords
+	if segs > talloc.MaxPayload {
+		panic("bench: array too large")
+	}
+	table := tm.Ptr(e.Update(func(tx tm.Tx) uint64 {
+		r := tm.Root(rootSlot)
+		if t := tx.Load(r); t != 0 {
+			return t
+		}
+		t := tx.Alloc(segs)
+		tx.Store(r, uint64(t))
+		return uint64(t)
+	}))
+	// Populate segments in separate transactions to keep write-sets small.
+	for s := 0; s < segs; s++ {
+		seg := s
+		e.Update(func(tx tm.Tx) uint64 {
+			if tx.Load(table+tm.Ptr(seg)) == 0 {
+				tx.Store(table+tm.Ptr(seg), uint64(tx.Alloc(segWords)))
+			}
+			return 0
+		})
+	}
+	return &bigArray{e: e, table: table, segs: segs, n: n}
+}
+
+// word returns the heap word backing index i.
+func (a *bigArray) word(tx tm.Tx, i int) tm.Ptr {
+	seg := tm.Ptr(tx.Load(a.table + tm.Ptr(i/segWords)))
+	return seg + tm.Ptr(i%segWords)
+}
+
+func (a *bigArray) get(tx tm.Tx, i int) uint64    { return tx.Load(a.word(tx, i)) }
+func (a *bigArray) set(tx tm.Tx, i int, v uint64) { tx.Store(a.word(tx, i), v) }

@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"onefile/containers"
+	"onefile/internal/core"
+	"onefile/internal/pmem"
+	"onefile/internal/talloc"
+	"onefile/internal/tm"
+)
+
+// KillConfig parameterises the resilience test of Fig. 12-right: N workers
+// continuously move items between two shared persistent queues; every
+// KillEvery, one worker is killed mid-transaction (at a persistence event,
+// like a process receiving SIGKILL) and immediately respawned.
+type KillConfig struct {
+	Engine    string // "OF-LF-PTM" or "OF-WF-PTM"
+	Workers   int
+	Items     int
+	Duration  time.Duration
+	KillEvery time.Duration // zero = no killing (the paper's "no kill" series)
+}
+
+// KillResult is the outcome of a kill test run.
+type KillResult struct {
+	TxPerSec float64
+	Kills    int
+}
+
+var errKilled = errors.New("bench: worker killed")
+
+// KillTest runs the two-queue transfer workload and verifies the paper's
+// §V-B invariants afterwards: no item is lost or duplicated, the allocator
+// audits clean, and the engine keeps running. Only the OneFile PTMs can
+// survive this test — a killed lock holder would wedge any blocking PTM,
+// which is precisely the point of the figure.
+func KillTest(cfg KillConfig) (KillResult, error) {
+	opts := []tm.Option{
+		tm.WithHeapWords(1 << 18),
+		tm.WithMaxThreads(64),
+		tm.WithMaxStores(1 << 10),
+	}
+	e, dev, err := NewPersistent(cfg.Engine, pmem.StrictMode, 1, opts...)
+	if err != nil {
+		return KillResult{}, err
+	}
+	if cfg.Engine != "OF-LF-PTM" && cfg.Engine != "OF-WF-PTM" {
+		return KillResult{}, fmt.Errorf("bench: kill test requires a OneFile PTM, got %q", cfg.Engine)
+	}
+	q1 := containers.NewQueue(e, 0)
+	q2 := containers.NewQueue(e, 1)
+	for i := 0; i < cfg.Items; i++ {
+		q1.Enqueue(uint64(i + 1))
+	}
+
+	var (
+		txs   atomic.Uint64
+		kills atomic.Uint64
+		stop  = make(chan struct{})
+		wg    sync.WaitGroup
+	)
+	var worker func()
+	worker = func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			died := func() (died bool) {
+				defer func() {
+					if r := recover(); r != nil {
+						if r == errKilled {
+							died = true
+							return
+						}
+						panic(r)
+					}
+				}()
+				e.Update(func(tx tm.Tx) uint64 {
+					if v, ok := q1.DequeueTx(tx); ok {
+						q2.EnqueueTx(tx, v)
+					} else if v, ok := q2.DequeueTx(tx); ok {
+						q1.EnqueueTx(tx, v)
+					}
+					return 0
+				})
+				return false
+			}()
+			if died {
+				kills.Add(1)
+				wg.Add(1)
+				go worker() // immediate respawn, like the paper's script
+				return
+			}
+			txs.Add(1)
+		}
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go worker()
+	}
+
+	// The killer: every KillEvery, arm a one-shot trap that terminates
+	// whichever worker hits the next persistence event — a SIGKILL at an
+	// arbitrary point inside a transaction.
+	killerDone := make(chan struct{})
+	go func() {
+		defer close(killerDone)
+		if cfg.KillEvery == 0 {
+			return
+		}
+		tick := time.NewTicker(cfg.KillEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				var armed atomic.Bool
+				armed.Store(true)
+				dev.SetHook(func(pmem.Event) {
+					if armed.CompareAndSwap(true, false) {
+						dev.SetHook(nil)
+						panic(errKilled)
+					}
+				})
+			}
+		}
+	}()
+
+	time.Sleep(cfg.Duration)
+	close(stop)
+	wg.Wait()
+	<-killerDone
+	dev.SetHook(nil)
+
+	// Invariants (§V-B): conservation of items and allocator integrity.
+	total := q1.Len() + q2.Len()
+	if total != cfg.Items {
+		return KillResult{}, fmt.Errorf("bench: item conservation violated: %d, want %d", total, cfg.Items)
+	}
+	var auditErr error
+	e.Read(func(tx tm.Tx) uint64 {
+		ce, ok := e.(*core.Engine)
+		if !ok {
+			return 0
+		}
+		if _, _, okAudit := talloc.Audit(tx, ce.DynBase()); !okAudit {
+			auditErr = errors.New("bench: allocator audit failed after kills")
+		}
+		return 0
+	})
+	if auditErr != nil {
+		return KillResult{}, auditErr
+	}
+	seen := map[uint64]bool{}
+	for _, v := range append(q1.Snapshot(cfg.Items+1), q2.Snapshot(cfg.Items+1)...) {
+		if seen[v] {
+			return KillResult{}, fmt.Errorf("bench: item %d duplicated", v)
+		}
+		seen[v] = true
+	}
+	return KillResult{
+		TxPerSec: float64(txs.Load()) / cfg.Duration.Seconds(),
+		Kills:    int(kills.Load()),
+	}, nil
+}

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"onefile/internal/tm"
+)
+
+// LatencyConfig parameterises the tail-latency workload of Fig. 7: an
+// array of 64 counters where every transaction increments all of them,
+// alternating sweep direction between transactions — a maximally
+// serialising workload that starves lock-based STMs.
+type LatencyConfig struct {
+	Counters  int // 64 in the paper
+	Threads   int
+	PerThread int // transactions per thread
+}
+
+// Percentiles reported for Fig. 7.
+var Percentiles = []float64{50, 90, 99, 99.9, 99.99, 99.999}
+
+// Latency runs the counter workload and returns the latency distribution
+// percentiles (microseconds), in the order of Percentiles.
+func Latency(e tm.Engine, cfg LatencyConfig) []float64 {
+	if cfg.Counters == 0 {
+		cfg.Counters = 64
+	}
+	block := tm.Ptr(e.Update(func(tx tm.Tx) uint64 {
+		r := tm.Root(1)
+		if b := tx.Load(r); b != 0 {
+			return b
+		}
+		b := tx.Alloc(cfg.Counters)
+		tx.Store(r, uint64(b))
+		return uint64(b)
+	}))
+	var mu sync.Mutex
+	all := make([]time.Duration, 0, cfg.Threads*cfg.PerThread)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, cfg.PerThread)
+			for i := 0; i < cfg.PerThread; i++ {
+				leftToRight := i%2 == 0
+				start := time.Now()
+				e.Update(func(tx tm.Tx) uint64 {
+					if leftToRight {
+						for c := 0; c < cfg.Counters; c++ {
+							p := block + tm.Ptr(c)
+							tx.Store(p, tx.Load(p)+1)
+						}
+					} else {
+						for c := cfg.Counters - 1; c >= 0; c-- {
+							p := block + tm.Ptr(c)
+							tx.Store(p, tx.Load(p)+1)
+						}
+					}
+					return 0
+				})
+				lat = append(lat, time.Since(start))
+			}
+			mu.Lock()
+			all = append(all, lat...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	out := make([]float64, len(Percentiles))
+	for i, p := range Percentiles {
+		idx := int(float64(len(all)-1) * p / 100)
+		out[i] = float64(all[idx].Nanoseconds()) / 1e3
+	}
+	return out
+}

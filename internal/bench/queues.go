@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"onefile/containers"
+	"onefile/internal/lockfree"
+	"onefile/internal/pmem"
+	"onefile/internal/tm"
+)
+
+// BenchQueue is the benchmark-facing queue interface.
+type BenchQueue interface {
+	Enqueue(v uint64, tid int)
+	Dequeue(tid int) (uint64, bool)
+}
+
+type tmQueue struct{ q *containers.Queue }
+
+func (t tmQueue) Enqueue(v uint64, _ int) { t.q.Enqueue(v) }
+func (t tmQueue) Dequeue(_ int) (uint64, bool) {
+	return t.q.Dequeue()
+}
+
+// NewTMQueue wraps a transactional queue on e.
+func NewTMQueue(e tm.Engine) BenchQueue {
+	return tmQueue{q: containers.NewQueue(e, 0)}
+}
+
+// NewHandmadeQueue builds one of the paper's hand-made queue baselines:
+// "MSQueue", "WFQueue", "FAAQueue" or "LCRQ" (§V-A), or "FHMP" on a fresh
+// emulated NVM device (§V-B).
+func NewHandmadeQueue(name string, maxThreads int) (BenchQueue, error) {
+	switch name {
+	case "MSQueue":
+		return lockfree.NewMSQueue(maxThreads), nil
+	case "WFQueue":
+		return lockfree.NewWFQueue(maxThreads), nil
+	case "FAAQueue":
+		return lockfree.NewFAAQueue(maxThreads), nil
+	case "LCRQ":
+		return lockfree.NewLCRQ(maxThreads), nil
+	case "FHMP":
+		dev, err := pmem.New(pmem.Config{RawWords: 1 << 26, Mode: pmem.StrictMode, MaxSlots: maxThreads + 1})
+		if err != nil {
+			return nil, err
+		}
+		return lockfree.NewFHMP(dev), nil
+	}
+	return nil, fmt.Errorf("bench: unknown hand-made queue %q", name)
+}
+
+// QueueConfig parameterises the queue benchmarks of Figs. 4 and 12-left.
+type QueueConfig struct {
+	Threads  int
+	Duration time.Duration
+	Prefill  int // items enqueued before measurement
+}
+
+// QueueBench runs enqueue/dequeue pairs on every thread and returns pairs
+// per second (the paper measures 10^8 pairs; we measure a fixed duration).
+func QueueBench(q BenchQueue, cfg QueueConfig) float64 {
+	for i := 0; i < cfg.Prefill; i++ {
+		q.Enqueue(uint64(i+1), 0)
+	}
+	var pairs atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Threads; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			local := uint64(0)
+			for i := uint64(1); ; i++ {
+				select {
+				case <-stop:
+					pairs.Add(local)
+					return
+				default:
+				}
+				q.Enqueue(i, tid)
+				q.Dequeue(tid)
+				local++
+			}
+		}(w)
+	}
+	time.Sleep(cfg.Duration)
+	close(stop)
+	wg.Wait()
+	return float64(pairs.Load()) / cfg.Duration.Seconds()
+}

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"onefile/containers"
+	"onefile/internal/lockfree"
+	"onefile/internal/tm"
+)
+
+// Set is the benchmark-facing set interface; tid is the caller's thread
+// slot (ignored by the transactional sets, used by the hand-made ones for
+// reclamation).
+type Set interface {
+	Add(k uint64, tid int) bool
+	Remove(k uint64, tid int) bool
+	Contains(k uint64, tid int) bool
+}
+
+// Transactional set adapters.
+
+type tmSet struct {
+	add, remove, contains func(k uint64) bool
+}
+
+func (s tmSet) Add(k uint64, _ int) bool      { return s.add(k) }
+func (s tmSet) Remove(k uint64, _ int) bool   { return s.remove(k) }
+func (s tmSet) Contains(k uint64, _ int) bool { return s.contains(k) }
+
+// NewTMSet builds a transactional set of the given kind ("list", "hash" or
+// "tree") on e, anchored at root slot 0.
+func NewTMSet(e tm.Engine, kind string) (Set, error) {
+	switch kind {
+	case "list":
+		s := containers.NewListSet(e, 0)
+		return tmSet{add: s.Add, remove: s.Remove, contains: s.Contains}, nil
+	case "hash":
+		s := containers.NewHashSet(e, 0)
+		return tmSet{add: s.Add, remove: s.Remove, contains: s.Contains}, nil
+	case "tree":
+		s := containers.NewRBTree(e, 0)
+		return tmSet{add: s.Add, remove: s.Remove, contains: s.Contains}, nil
+	}
+	return nil, fmt.Errorf("bench: unknown set kind %q", kind)
+}
+
+// NewHandmadeSet builds the hand-made lock-free baseline for a set kind:
+// Harris-HE for lists, NataHE for trees (§V-A).
+func NewHandmadeSet(kind string, maxThreads int) (Set, error) {
+	switch kind {
+	case "list":
+		return lockfree.NewHarrisSet(maxThreads), nil
+	case "tree":
+		return lockfree.NewNataTree(maxThreads), nil
+	}
+	return nil, fmt.Errorf("bench: no hand-made baseline for set kind %q", kind)
+}
+
+// SetConfig parameterises the set sweeps of Figs. 5, 6, 9, 10 and 11.
+type SetConfig struct {
+	Keys        int     // working-set size; the key range is 2×Keys
+	UpdateRatio float64 // fraction of operations that are updates
+	Threads     int
+	Duration    time.Duration
+}
+
+// SetBench fills the set to half the key range, then runs the paper's
+// mixed workload: an update is a remove of a random key followed by its
+// re-insertion (two transactions); a read is two membership lookups of
+// existing random keys. Returns operations per second (each transaction
+// counts as one operation).
+func SetBench(s Set, cfg SetConfig) float64 {
+	// Fill in shuffled order: a sorted fill would degenerate the
+	// non-rebalancing baseline trees into spines.
+	fill := rand.New(rand.NewSource(1)).Perm(cfg.Keys)
+	for _, i := range fill {
+		s.Add(uint64(2*i), 0)
+	}
+	var ops atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Threads; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(tid + 1)))
+			local := uint64(0)
+			for {
+				select {
+				case <-stop:
+					ops.Add(local)
+					return
+				default:
+				}
+				k := uint64(rng.Intn(2 * cfg.Keys))
+				if rng.Float64() < cfg.UpdateRatio {
+					s.Remove(k, tid)
+					s.Add(k, tid)
+				} else {
+					s.Contains(k, tid)
+					s.Contains(uint64(rng.Intn(2*cfg.Keys)), tid)
+				}
+				local += 2
+			}
+		}(w)
+	}
+	time.Sleep(cfg.Duration)
+	close(stop)
+	wg.Wait()
+	return float64(ops.Load()) / cfg.Duration.Seconds()
+}

@@ -1,0 +1,406 @@
+// Package conformance runs one battery of semantic tests over every engine
+// in the repository: the four OneFile variants and the four baselines. Any
+// engine that passes is a drop-in for the container library and the
+// benchmark harness.
+package conformance
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"onefile/internal/core"
+	"onefile/internal/pmem"
+	"onefile/internal/romulus"
+	"onefile/internal/talloc"
+	"onefile/internal/tl2"
+	"onefile/internal/tm"
+	"onefile/internal/undolog"
+)
+
+var opts = []tm.Option{
+	tm.WithHeapWords(1 << 15),
+	tm.WithMaxThreads(16),
+	tm.WithMaxStores(1 << 10),
+}
+
+// fixture is an engine under test plus an optional crash-and-recover
+// function (persistent engines only) returning the recovered engine.
+type fixture struct {
+	e     tm.Engine
+	dev   *pmem.Device // nil for volatile engines
+	crash func(t *testing.T) tm.Engine
+}
+
+type maker func(t *testing.T) fixture
+
+func volatileMaker(create func() tm.Engine) maker {
+	return func(t *testing.T) fixture { return fixture{e: create()} }
+}
+
+func persistentMaker(
+	devCfg func(mode pmem.Mode, seed int64, o ...tm.Option) pmem.Config,
+	create func(dev *pmem.Device, attach bool, o ...tm.Option) (tm.Engine, error),
+) maker {
+	return func(t *testing.T) fixture {
+		dev, err := pmem.New(devCfg(pmem.RelaxedMode, 12345, opts...))
+		if err != nil {
+			t.Fatalf("pmem.New: %v", err)
+		}
+		e, err := create(dev, false, opts...)
+		if err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		return fixture{
+			e:   e,
+			dev: dev,
+			crash: func(t *testing.T) tm.Engine {
+				dev.Crash()
+				r, err := create(dev, true, opts...)
+				if err != nil {
+					t.Fatalf("re-attach: %v", err)
+				}
+				return r
+			},
+		}
+	}
+}
+
+func makers() map[string]maker {
+	return map[string]maker{
+		"OF-LF":   volatileMaker(func() tm.Engine { return core.NewLF(opts...) }),
+		"OF-WF":   volatileMaker(func() tm.Engine { return core.NewWF(opts...) }),
+		"TinySTM": volatileMaker(func() tm.Engine { return tl2.New(opts...) }),
+		"ESTM":    volatileMaker(func() tm.Engine { return tl2.NewElastic(opts...) }),
+		"OF-LF-PTM": persistentMaker(core.DeviceConfig,
+			func(d *pmem.Device, a bool, o ...tm.Option) (tm.Engine, error) {
+				return core.NewPersistentLF(d, a, o...)
+			}),
+		"OF-WF-PTM": persistentMaker(core.DeviceConfig,
+			func(d *pmem.Device, a bool, o ...tm.Option) (tm.Engine, error) {
+				return core.NewPersistentWF(d, a, o...)
+			}),
+		"PMDK": persistentMaker(undolog.DeviceConfig,
+			func(d *pmem.Device, a bool, o ...tm.Option) (tm.Engine, error) {
+				return undolog.New(d, a, o...)
+			}),
+		"RomulusLog": persistentMaker(romulus.DeviceConfig,
+			func(d *pmem.Device, a bool, o ...tm.Option) (tm.Engine, error) {
+				return romulus.NewLog(d, a, o...)
+			}),
+		"RomulusLR": persistentMaker(romulus.DeviceConfig,
+			func(d *pmem.Device, a bool, o ...tm.Option) (tm.Engine, error) {
+				return romulus.NewLR(d, a, o...)
+			}),
+	}
+}
+
+// dynBaseOf returns the engine's first dynamically allocatable heap word.
+func dynBaseOf(t *testing.T, e tm.Engine) tm.Ptr {
+	d, ok := e.(interface{ DynBase() tm.Ptr })
+	if !ok {
+		t.Fatalf("%s does not expose DynBase", e.Name())
+	}
+	return d.DynBase()
+}
+
+func forEachEngine(t *testing.T, test func(t *testing.T, f fixture)) {
+	for name, mk := range makers() {
+		t.Run(name, func(t *testing.T) {
+			test(t, mk(t))
+		})
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, f fixture) {
+		f.e.Update(func(tx tm.Tx) uint64 {
+			tx.Store(tm.Root(0), 1234)
+			return 0
+		})
+		if got := f.e.Read(func(tx tm.Tx) uint64 { return tx.Load(tm.Root(0)) }); got != 1234 {
+			t.Fatalf("%s: read = %d, want 1234", f.e.Name(), got)
+		}
+	})
+}
+
+func TestReadYourWrites(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, f fixture) {
+		got := f.e.Update(func(tx tm.Tx) uint64 {
+			tx.Store(tm.Root(0), 5)
+			a := tx.Load(tm.Root(0))
+			tx.Store(tm.Root(0), a+5)
+			return tx.Load(tm.Root(0))
+		})
+		if got != 10 {
+			t.Fatalf("%s: read-own-write = %d, want 10", f.e.Name(), got)
+		}
+	})
+}
+
+func TestCounterStress(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, f fixture) {
+		const workers, per = 8, 250
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					f.e.Update(func(tx tm.Tx) uint64 {
+						tx.Store(tm.Root(0), tx.Load(tm.Root(0))+1)
+						return 0
+					})
+				}
+			}()
+		}
+		wg.Wait()
+		got := f.e.Read(func(tx tm.Tx) uint64 { return tx.Load(tm.Root(0)) })
+		if got != workers*per {
+			t.Fatalf("%s: counter = %d, want %d", f.e.Name(), got, workers*per)
+		}
+	})
+}
+
+// TestInvariantNeverTorn: concurrent transfers between two words keep their
+// sum zero under every interleaving a reader can observe.
+func TestInvariantNeverTorn(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, f fixture) {
+		x, y := tm.Root(0), tm.Root(1)
+		var torn atomic.Uint64
+		stop := make(chan struct{})
+		var readers sync.WaitGroup
+		for r := 0; r < 2; r++ {
+			readers.Add(1)
+			go func() {
+				defer readers.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if s := f.e.Read(func(tx tm.Tx) uint64 {
+						return tx.Load(x) + tx.Load(y)
+					}); s != 0 {
+						torn.Add(1)
+					}
+				}
+			}()
+		}
+		var writers sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			writers.Add(1)
+			go func(d uint64) {
+				defer writers.Done()
+				for i := 0; i < 200; i++ {
+					f.e.Update(func(tx tm.Tx) uint64 {
+						tx.Store(x, tx.Load(x)+d)
+						tx.Store(y, tx.Load(y)-d)
+						return 0
+					})
+				}
+			}(uint64(w + 1))
+		}
+		writers.Wait()
+		close(stop)
+		readers.Wait()
+		if torn.Load() != 0 {
+			t.Fatalf("%s: %d torn reads", f.e.Name(), torn.Load())
+		}
+	})
+}
+
+func TestAllocFreeRecycles(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, f fixture) {
+		p1 := tm.Ptr(f.e.Update(func(tx tm.Tx) uint64 {
+			p := tx.Alloc(4)
+			tx.Store(p, 77)
+			return uint64(p)
+		}))
+		f.e.Update(func(tx tm.Tx) uint64 {
+			tx.Free(p1)
+			return 0
+		})
+		p2 := tm.Ptr(f.e.Update(func(tx tm.Tx) uint64 {
+			p := tx.Alloc(4)
+			if v := tx.Load(p); v != 0 {
+				t.Errorf("%s: recycled block not zeroed: %d", f.e.Name(), v)
+			}
+			return uint64(p)
+		}))
+		if p1 != p2 {
+			t.Fatalf("%s: free list did not recycle (%d → %d)", f.e.Name(), p1, p2)
+		}
+	})
+}
+
+func TestConcurrentAllocAudit(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, f fixture) {
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var mine []tm.Ptr
+				for i := 0; i < 60; i++ {
+					p := tm.Ptr(f.e.Update(func(tx tm.Tx) uint64 {
+						return uint64(tx.Alloc(i%7 + 1))
+					}))
+					mine = append(mine, p)
+					if i%3 == 0 {
+						q := mine[0]
+						mine = mine[1:]
+						f.e.Update(func(tx tm.Tx) uint64 {
+							tx.Free(q)
+							return 0
+						})
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		f.e.Read(func(tx tm.Tx) uint64 {
+			if _, _, ok := talloc.Audit(tx, dynBaseOf(t, f.e)); !ok {
+				t.Errorf("%s: heap audit failed", f.e.Name())
+			}
+			return 0
+		})
+	})
+}
+
+// TestCrashRecovery (persistent engines only): every acknowledged update
+// must survive a crash; the heap must audit clean after recovery.
+func TestCrashRecovery(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, f fixture) {
+		if f.crash == nil {
+			t.Skip("volatile engine")
+		}
+		for i := uint64(1); i <= 30; i++ {
+			v := i
+			f.e.Update(func(tx tm.Tx) uint64 {
+				tx.Store(tm.Root(0), v)
+				p := tx.Alloc(2)
+				tx.Store(p, v)
+				old := tm.Ptr(tx.Load(tm.Root(1)))
+				if old != 0 {
+					tx.Free(old)
+				}
+				tx.Store(tm.Root(1), uint64(p))
+				return 0
+			})
+		}
+		r := f.crash(t)
+		got := r.Read(func(tx tm.Tx) uint64 { return tx.Load(tm.Root(0)) })
+		if got != 30 {
+			t.Fatalf("%s: recovered %d, want 30", r.Name(), got)
+		}
+		r.Read(func(tx tm.Tx) uint64 {
+			p := tm.Ptr(tx.Load(tm.Root(1)))
+			if v := tx.Load(p); v != 30 {
+				t.Errorf("%s: node value %d, want 30", r.Name(), v)
+			}
+			if _, _, ok := talloc.Audit(tx, dynBaseOf(t, r)); !ok {
+				t.Errorf("%s: post-crash audit failed", r.Name())
+			}
+			return 0
+		})
+		// The recovered engine must accept new transactions.
+		r.Update(func(tx tm.Tx) uint64 {
+			tx.Store(tm.Root(0), 31)
+			return 0
+		})
+		if got := r.Read(func(tx tm.Tx) uint64 { return tx.Load(tm.Root(0)) }); got != 31 {
+			t.Fatalf("%s: post-recovery update lost", r.Name())
+		}
+	})
+}
+
+// TestCrashMidLoadSweep (persistent engines): crash at assorted persistence
+// events under way; recovery must always produce the last acknowledged
+// counter value or leave no trace of the in-flight one.
+func TestCrashMidLoadSweep(t *testing.T) {
+	for name, mk := range makers() {
+		t.Run(name, func(t *testing.T) {
+			probe := mk(t)
+			if probe.crash == nil {
+				t.Skip("volatile engine")
+			}
+			for k := 1; k < 120; k += 7 {
+				f := mk(t)
+				acked := uint64(0)
+				func() {
+					defer func() { _ = recover() }()
+					dev := f.dev
+					n := 0
+					dev.SetHook(func(pmem.Event) {
+						n++
+						if n == k {
+							panic("crash")
+						}
+					})
+					defer dev.SetHook(nil)
+					for i := uint64(1); i <= 10; i++ {
+						v := i
+						f.e.Update(func(tx tm.Tx) uint64 {
+							tx.Store(tm.Root(0), v)
+							return 0
+						})
+						acked = v
+					}
+				}()
+				r := f.crash(t)
+				got := r.Read(func(tx tm.Tx) uint64 { return tx.Load(tm.Root(0)) })
+				if got < acked || got > acked+1 {
+					t.Fatalf("k=%d: recovered %d with %d acked", k, got, acked)
+				}
+			}
+		})
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	want := map[string]bool{
+		"OF-LF": true, "OF-WF": true, "OF-LF-PTM": true, "OF-WF-PTM": true,
+		"TinySTM": true, "ESTM": true, "PMDK": true,
+		"RomulusLog": true, "RomulusLR": true,
+	}
+	for name, mk := range makers() {
+		f := mk(t)
+		if f.e.Name() != name {
+			t.Errorf("maker %q built engine named %q", name, f.e.Name())
+		}
+		if !want[f.e.Name()] {
+			t.Errorf("unexpected engine name %q", f.e.Name())
+		}
+	}
+}
+
+func TestStatsProgress(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, f fixture) {
+		before := f.e.Stats()
+		for i := 0; i < 10; i++ {
+			f.e.Update(func(tx tm.Tx) uint64 {
+				tx.Store(tm.Root(0), uint64(i))
+				return 0
+			})
+			f.e.Read(func(tx tm.Tx) uint64 { return tx.Load(tm.Root(0)) })
+		}
+		d := f.e.Stats().Sub(before)
+		if d.Commits != 10 {
+			t.Errorf("%s: commits = %d, want 10", f.e.Name(), d.Commits)
+		}
+		if d.ReadCommits < 10 {
+			t.Errorf("%s: readCommits = %d, want >= 10", f.e.Name(), d.ReadCommits)
+		}
+		if err := f.e.Close(); err != nil {
+			t.Errorf("%s: Close: %v", f.e.Name(), err)
+		}
+	})
+}
+
+func TestEngineCount(t *testing.T) {
+	if got := len(makers()); got != 9 {
+		t.Fatalf("engine count = %d, want 9", got)
+	}
+}

@@ -1,0 +1,166 @@
+package conformance
+
+import (
+	"math/rand"
+	"testing"
+
+	"onefile/internal/tm"
+)
+
+// TestDifferentialRandomTransactions runs randomly generated transaction
+// programs on every engine and on a plain in-memory model, comparing every
+// load observed inside transactions and the final heap state. This is a
+// sequential differential test: it validates the transactional semantics
+// (read-your-writes, replace-on-store, alloc zeroing, free/recycle) of all
+// nine engines against one executable specification.
+func TestDifferentialRandomTransactions(t *testing.T) {
+	for name, mk := range makers() {
+		t.Run(name, func(t *testing.T) {
+			f := mk(t)
+			rng := rand.New(rand.NewSource(1234))
+			model := map[tm.Ptr]uint64{}
+			var blocks []tm.Ptr // live allocations (model side)
+			blockSize := map[tm.Ptr]int{}
+
+			// randPtr picks a root or a word of a block still live at this
+			// point of the program being generated (storing to memory the
+			// same transaction already freed would be a user bug).
+			randPtr := func(live []tm.Ptr) tm.Ptr {
+				if len(live) == 0 || rng.Intn(3) == 0 {
+					return tm.Root(rng.Intn(8))
+				}
+				b := live[rng.Intn(len(live))]
+				return b + tm.Ptr(rng.Intn(blockSize[b]))
+			}
+
+			for txn := 0; txn < 300; txn++ {
+				// Generate a program: a list of steps executed identically
+				// on the engine and on the model.
+				type step struct {
+					op   int // 0=load, 1=store, 2=alloc, 3=free
+					p    tm.Ptr
+					v    uint64
+					size int
+					idx  int
+				}
+				var prog []step
+				nsteps := rng.Intn(12) + 1
+				liveCopy := append([]tm.Ptr(nil), blocks...)
+				for s := 0; s < nsteps; s++ {
+					switch r := rng.Intn(10); {
+					case r < 4:
+						prog = append(prog, step{op: 0, p: randPtr(liveCopy)})
+					case r < 8:
+						prog = append(prog, step{op: 1, p: randPtr(liveCopy), v: rng.Uint64() >> 1})
+					case r < 9:
+						prog = append(prog, step{op: 2, size: rng.Intn(6) + 1})
+					default:
+						if len(liveCopy) > 0 {
+							i := rng.Intn(len(liveCopy))
+							prog = append(prog, step{op: 3, idx: i, p: liveCopy[i]})
+							liveCopy = append(liveCopy[:i], liveCopy[i+1:]...)
+						}
+					}
+				}
+
+				// Execute on the engine, capturing loads and alloc results.
+				var engLoads []uint64
+				var engAllocs []tm.Ptr
+				freed := map[tm.Ptr]bool{}
+				f.e.Update(func(tx tm.Tx) uint64 {
+					engLoads = engLoads[:0]
+					engAllocs = engAllocs[:0]
+					for _, st := range prog {
+						switch st.op {
+						case 0:
+							engLoads = append(engLoads, tx.Load(st.p))
+						case 1:
+							tx.Store(st.p, st.v)
+						case 2:
+							engAllocs = append(engAllocs, tx.Alloc(st.size))
+						case 3:
+							if !freed[st.p] {
+								tx.Free(st.p)
+								freed[st.p] = true
+							}
+						}
+					}
+					return 0
+				})
+
+				// Execute on the model, reusing the engine's alloc results
+				// (pointer placement is the allocator's business; semantics
+				// are what we compare).
+				var modelLoads []uint64
+				ai := 0
+				freed = map[tm.Ptr]bool{}
+				shadow := map[tm.Ptr]uint64{}
+				loadM := func(p tm.Ptr) uint64 {
+					if v, ok := shadow[p]; ok {
+						return v
+					}
+					return model[p]
+				}
+				for _, st := range prog {
+					switch st.op {
+					case 0:
+						modelLoads = append(modelLoads, loadM(st.p))
+					case 1:
+						shadow[st.p] = st.v
+					case 2:
+						p := engAllocs[ai]
+						ai++
+						for i := 0; i < st.size; i++ {
+							shadow[p+tm.Ptr(i)] = 0
+						}
+						blocks = append(blocks, p)
+						blockSize[p] = st.size
+					case 3:
+						if !freed[st.p] {
+							freed[st.p] = true
+							for i, b := range blocks {
+								if b == st.p {
+									blocks = append(blocks[:i], blocks[i+1:]...)
+									break
+								}
+							}
+							delete(blockSize, st.p)
+						}
+					}
+				}
+				for p, v := range shadow {
+					model[p] = v
+				}
+
+				if len(engLoads) != len(modelLoads) {
+					t.Fatalf("tx %d: load counts differ", txn)
+				}
+				for i := range engLoads {
+					if engLoads[i] != modelLoads[i] {
+						t.Fatalf("tx %d load %d: engine %d, model %d (program %v)",
+							txn, i, engLoads[i], modelLoads[i], prog)
+					}
+				}
+			}
+
+			// Final state: every root and every live block word must match.
+			f.e.Read(func(tx tm.Tx) uint64 {
+				for i := 0; i < 8; i++ {
+					p := tm.Root(i)
+					if got, want := tx.Load(p), model[p]; got != want {
+						t.Errorf("final root %d: engine %d, model %d", i, got, want)
+					}
+				}
+				for _, b := range blocks {
+					for i := 0; i < blockSize[b]; i++ {
+						p := b + tm.Ptr(i)
+						if got, want := tx.Load(p), model[p]; got != want {
+							t.Errorf("final word %d: engine %d, model %d", p, got, want)
+						}
+					}
+				}
+				return 0
+			})
+		})
+	}
+}

@@ -1,0 +1,396 @@
+// Package core implements OneFile, the wait-free persistent transactional
+// memory of the paper, in its four variants:
+//
+//   - NewLF: the lock-free software transactional memory (volatile),
+//   - NewWF: the wait-free STM (volatile),
+//   - NewPersistentLF: the lock-free PTM on an emulated NVM device,
+//   - NewPersistentWF: the wait-free PTM.
+//
+// OneFile is a redo-log, word-based TM with no read-set. All update
+// transactions serialize on a single word, curTx, that packs a
+// monotonically increasing sequence number with the committing thread
+// slot's index. Each slot exposes its write-set (and, in the persistent
+// variants, keeps it in NVM), so that any thread can help apply the
+// currently committed transaction — one seq-guarded DCAS per written word —
+// which yields lock-free progress; the wait-free variants additionally
+// publish whole operations so that helping threads execute them on the
+// caller's behalf (§III-E).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"onefile/internal/dcas"
+	"onefile/internal/he"
+	"onefile/internal/pmem"
+	"onefile/internal/talloc"
+	"onefile/internal/tm"
+)
+
+// Transaction identifiers pack seq<<tidBits | tid (§III-A).
+const (
+	tidBits = 10
+	tidMask = (1 << tidBits) - 1
+)
+
+func makeTx(seq uint64, tid int) uint64 { return seq<<tidBits | uint64(tid) }
+func seqOf(txid uint64) uint64          { return txid >> tidBits }
+func tidOf(txid uint64) int             { return int(txid & tidMask) }
+
+// Device raw-region layout (persistent variants).
+const (
+	hdrWords = pmem.LineWords // raw words reserved for the header
+	hdrMagic = 0              // raw offset of the magic word
+	magicVal = 0x0F11E_60_0001
+)
+
+// abortSignal is the panic value used to unwind an aborted transaction body
+// (the paper's AbortedTxException). It never escapes the engine.
+type abortSignal struct{}
+
+// slot is one thread slot: registration state, the slot's write-set/redo
+// log, and the wait-free operation publication point.
+type slot struct {
+	id      int
+	claimed atomic.Uint32
+
+	// request holds the slot's transaction identifier while its committed
+	// write-set still needs applying ("open"), and that identifier plus
+	// one once applied ("closed"). §III-A.
+	request *atomic.Uint64
+	logNum  *atomic.Uint64  // shared numStores
+	logEnt  []atomic.Uint64 // shared (address, value) entry pairs
+	logOff  int             // device raw offset of the slot's log region; -1 when volatile
+
+	ws      writeSet
+	helpBuf []uint64 // scratch for copying another slot's write-set
+
+	// Wait-free operation publication (§III-E).
+	opSlot atomic.Pointer[opDesc]
+	opTag  uint64 // owner-private monotonic tag for this slot's ops
+
+	// localReq backs request/logNum for the volatile engines.
+	localReq [2]atomic.Uint64
+}
+
+// opDesc is a published wait-free operation: the Go closure standing in for
+// the paper's std::function, plus the monotonic tag used for exactly-once
+// execution and the hazard-era lifetime bookkeeping of §IV-B.
+type opDesc struct {
+	fn    func(tm.Tx) uint64
+	tag   uint64
+	birth uint64 // curTx sequence when published (hazard era birth)
+
+	// reclaimed is set by the hazard-era free callback. Under Go's GC the
+	// object stays valid, so this flag turns what would be a
+	// use-after-free in C++ into a detectable protocol violation.
+	reclaimed atomic.Bool
+}
+
+type engineStats struct {
+	commits      atomic.Uint64
+	aborts       atomic.Uint64
+	readCommits  atomic.Uint64
+	readAborts   atomic.Uint64
+	helps        atomic.Uint64
+	cas          atomic.Uint64
+	dcas         atomic.Uint64
+	aggregated   atomic.Uint64
+	heViolations atomic.Uint64
+}
+
+// Engine is a OneFile transactional-memory engine. Create one with NewLF,
+// NewWF, NewPersistentLF or NewPersistentWF; all methods are safe for
+// concurrent use by up to MaxThreads goroutines at a time.
+type Engine struct {
+	cfg      tm.Config
+	waitFree bool
+	dev      *pmem.Device // nil for the volatile variants
+
+	words []dcas.Word // the transactional heap: one TM word per tm.Ptr
+	curTx atomic.Uint64
+
+	slots     []slot
+	claimHint atomic.Uint32
+
+	eras *he.Eras // closure reclamation domain (wait-free variants)
+
+	curTxImg    int    // pair-region index of curTx's persistent image
+	dynBase     tm.Ptr // first dynamically allocatable heap word
+	resultsBase tm.Ptr // first wait-free result word
+
+	st     engineStats
+	closed atomic.Bool
+}
+
+var (
+	_ tm.Engine     = (*Engine)(nil)
+	_ tm.Persistent = (*Engine)(nil)
+)
+
+// Errors returned by the persistent constructors.
+var (
+	// ErrBadDevice reports a device too small for the configuration.
+	ErrBadDevice = errors.New("core: device does not fit configuration")
+	// ErrNotFormatted reports attaching to a device with no valid heap.
+	ErrNotFormatted = errors.New("core: device holds no OneFile heap (bad magic)")
+	// ErrCorrupt reports a persistent image violating a recovery invariant.
+	ErrCorrupt = errors.New("core: persistent image is corrupt")
+)
+
+// slotLogStride returns the per-slot raw log size (request + numStores +
+// entries), line-aligned so slots never share cache lines.
+func slotLogStride(maxStores int) int {
+	n := 2 + 2*maxStores
+	return (n + pmem.LineWords - 1) / pmem.LineWords * pmem.LineWords
+}
+
+// DeviceConfig returns the pmem configuration required by a persistent
+// engine created with the same options.
+func DeviceConfig(mode pmem.Mode, seed int64, opts ...tm.Option) pmem.Config {
+	cfg := tm.Apply(opts)
+	return pmem.Config{
+		RawWords:  hdrWords + cfg.MaxThreads*slotLogStride(cfg.MaxStores),
+		PairWords: cfg.HeapWords + 1,
+		Mode:      mode,
+		MaxSlots:  cfg.MaxThreads,
+		Seed:      seed,
+	}
+}
+
+// NewLF creates the lock-free OneFile STM (volatile memory).
+func NewLF(opts ...tm.Option) *Engine {
+	e, err := newEngine(tm.Apply(opts), false, nil, false)
+	if err != nil {
+		panic(err) // unreachable without a device
+	}
+	return e
+}
+
+// NewWF creates the bounded wait-free OneFile STM (volatile memory).
+func NewWF(opts ...tm.Option) *Engine {
+	e, err := newEngine(tm.Apply(opts), true, nil, false)
+	if err != nil {
+		panic(err) // unreachable without a device
+	}
+	return e
+}
+
+// NewPersistentLF creates (attach=false) or re-attaches to (attach=true)
+// the lock-free OneFile PTM on dev. The options must match the ones the
+// device was sized with (see DeviceConfig).
+func NewPersistentLF(dev *pmem.Device, attach bool, opts ...tm.Option) (*Engine, error) {
+	return newEngine(tm.Apply(opts), false, dev, attach)
+}
+
+// NewPersistentWF creates or re-attaches to the wait-free OneFile PTM.
+func NewPersistentWF(dev *pmem.Device, attach bool, opts ...tm.Option) (*Engine, error) {
+	return newEngine(tm.Apply(opts), true, dev, attach)
+}
+
+func newEngine(cfg tm.Config, waitFree bool, dev *pmem.Device, attach bool) (*Engine, error) {
+	e := &Engine{
+		cfg:      cfg,
+		waitFree: waitFree,
+		dev:      dev,
+		words:    make([]dcas.Word, cfg.HeapWords),
+		slots:    make([]slot, cfg.MaxThreads),
+		eras:     he.New(cfg.MaxThreads),
+		curTxImg: cfg.HeapWords,
+	}
+	e.resultsBase = talloc.MetaBase + talloc.MetaWords
+	e.dynBase = e.resultsBase + tm.Ptr(2*cfg.MaxThreads)
+	if int(e.dynBase)+64 > cfg.HeapWords {
+		return nil, fmt.Errorf("core: heap of %d words too small for %d thread slots", cfg.HeapWords, cfg.MaxThreads)
+	}
+	if dev != nil {
+		want := DeviceConfig(dev.Mode(), 0, func(c *tm.Config) { *c = cfg })
+		if dev.RawWords() < want.RawWords || dev.PairWords() < want.PairWords {
+			return nil, ErrBadDevice
+		}
+	}
+
+	stride := slotLogStride(cfg.MaxStores)
+	for i := range e.slots {
+		s := &e.slots[i]
+		s.id = i
+		if dev != nil {
+			s.logOff = hdrWords + i*stride
+			region := dev.RawRegion(s.logOff, 2+2*cfg.MaxStores)
+			s.request = &region[0]
+			s.logNum = &region[1]
+			s.logEnt = region[2:]
+		} else {
+			s.logOff = -1
+			s.request = &s.localReq[0]
+			s.logNum = &s.localReq[1]
+			s.logEnt = make([]atomic.Uint64, 2*cfg.MaxStores)
+		}
+		s.ws = newWriteSet(s.logNum, s.logEnt, cfg.MaxStores)
+		s.helpBuf = make([]uint64, 0)
+	}
+
+	if attach {
+		if err := e.attach(); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	e.format()
+	return e, nil
+}
+
+// format initialises a fresh heap (single-threaded).
+func (e *Engine) format() {
+	store := func(p tm.Ptr, v uint64) {
+		e.words[p].Store(v, 0)
+		if e.dev != nil {
+			e.dev.FlushPair(0, int(p), e.words[p].Snapshot())
+		}
+	}
+	talloc.InitDirect(store, e.dynBase, e.cfg.HeapWords)
+	init0 := makeTx(1, 0)
+	e.curTx.Store(init0)
+	if e.dev != nil {
+		e.dev.FlushPair(0, e.curTxImg, &dcas.Pair{Val: init0, Seq: init0})
+		e.dev.RawStore(hdrMagic, magicVal)
+		e.dev.Flush(0, hdrMagic, 1)
+		e.dev.Fence(0)
+		e.dev.ResetStats() // formatting traffic is not part of any experiment
+	}
+}
+
+// attach rebuilds the volatile state from the device's persistent image and
+// performs null recovery (§III-D): if the last committed transaction's
+// request is still open, apply and close it. The device must be quiescent,
+// with Crash() already invoked if a failure occurred.
+func (e *Engine) attach() error {
+	if e.dev == nil {
+		return errors.New("core: attach requires a device")
+	}
+	if e.dev.ImageRaw(hdrMagic) != magicVal {
+		return ErrNotFormatted
+	}
+	cur, _ := e.dev.ImagePair(e.curTxImg)
+	if cur == 0 {
+		return ErrCorrupt
+	}
+	e.curTx.Store(cur)
+	maxSeq := seqOf(cur)
+	for i := 0; i < e.cfg.HeapWords; i++ {
+		val, seq := e.dev.ImagePair(i)
+		if seq > maxSeq {
+			return fmt.Errorf("%w: word %d has sequence %d beyond durable curTx %d", ErrCorrupt, i, seq, maxSeq)
+		}
+		if val != 0 || seq != 0 {
+			e.words[i].Store(val, seq)
+		}
+	}
+	// Null recovery: the regular helping path finishes the last committed
+	// transaction if its request is still open. Stale open requests of
+	// transactions that never became durable fail the identifier match
+	// and are ignored, exactly as during normal execution.
+	if e.pending(cur) {
+		e.helpApply(cur, &e.slots[0])
+	}
+	// Resume each slot's operation-tag counter from its durable tag word:
+	// a fresh counter would re-issue tags the old heap already marked
+	// done, and opResult would return a stale result without executing
+	// the new operation.
+	for i := range e.slots {
+		_, tagW := e.resultWord(i)
+		val, _ := e.words[tagW].Load()
+		e.slots[i].opTag = val
+	}
+	return nil
+}
+
+// Name implements tm.Engine.
+func (e *Engine) Name() string {
+	switch {
+	case e.dev == nil && !e.waitFree:
+		return "OF-LF"
+	case e.dev == nil && e.waitFree:
+		return "OF-WF"
+	case !e.waitFree:
+		return "OF-LF-PTM"
+	default:
+		return "OF-WF-PTM"
+	}
+}
+
+// Stats implements tm.Engine.
+func (e *Engine) Stats() tm.Stats {
+	s := tm.Stats{
+		Commits:      e.st.commits.Load(),
+		Aborts:       e.st.aborts.Load(),
+		ReadCommits:  e.st.readCommits.Load(),
+		ReadAborts:   e.st.readAborts.Load(),
+		Helps:        e.st.helps.Load(),
+		CAS:          e.st.cas.Load(),
+		DCAS:         e.st.dcas.Load(),
+		AggregatedOp: e.st.aggregated.Load(),
+	}
+	if e.dev != nil {
+		d := e.dev.Stats()
+		s.Pwb, s.Pfence = d.Pwb, d.Pfence
+	}
+	return s
+}
+
+// HEViolations returns how often a hazard-era-protected operation
+// descriptor was observed after reclamation. It must always be zero; tests
+// assert it.
+func (e *Engine) HEViolations() uint64 { return e.st.heViolations.Load() }
+
+// Eras exposes the engine's hazard-era domain (test aid).
+func (e *Engine) Eras() *he.Eras { return e.eras }
+
+// DynBase returns the first dynamically allocatable heap word (audit aid).
+func (e *Engine) DynBase() tm.Ptr { return e.dynBase }
+
+// Close implements tm.Engine. The engine must be idle.
+func (e *Engine) Close() error {
+	e.closed.Store(true)
+	return nil
+}
+
+// Recover implements tm.Persistent for an already-attached engine: it
+// re-runs null recovery. New engines attach with NewPersistent*(dev, true).
+func (e *Engine) Recover() error {
+	if e.dev == nil {
+		return errors.New("core: volatile engine has nothing to recover")
+	}
+	cur := e.curTx.Load()
+	if e.pending(cur) {
+		e.helpApply(cur, &e.slots[0])
+	}
+	return nil
+}
+
+// acquire claims a thread slot, spinning (with yields) while all slots are
+// busy — MaxThreads acts as a concurrency throttle.
+func (e *Engine) acquire() *slot {
+	n := len(e.slots)
+	start := int(e.claimHint.Add(1))
+	for spin := 0; ; spin++ {
+		for i := 0; i < n; i++ {
+			s := &e.slots[(start+i)%n]
+			if s.claimed.Load() == 0 && s.claimed.CompareAndSwap(0, 1) {
+				return s
+			}
+		}
+		runtime.Gosched()
+	}
+}
+
+func (e *Engine) release(s *slot) { s.claimed.Store(0) }
+
+// pending reports whether txid is committed but possibly not fully applied:
+// its owner's request still carries the identifier (§III-A).
+func (e *Engine) pending(txid uint64) bool {
+	return e.slots[tidOf(txid)].request.Load() == txid
+}

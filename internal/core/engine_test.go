@@ -1,0 +1,314 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"onefile/internal/talloc"
+	"onefile/internal/tm"
+)
+
+// smallOpts keeps test engines cheap.
+func smallOpts() []tm.Option {
+	return []tm.Option{
+		tm.WithHeapWords(1 << 14),
+		tm.WithMaxThreads(16),
+		tm.WithMaxStores(1 << 10),
+	}
+}
+
+// engines under test, volatile variants.
+func volatileEngines(t *testing.T) map[string]*Engine {
+	t.Helper()
+	return map[string]*Engine{
+		"lf": NewLF(smallOpts()...),
+		"wf": NewWF(smallOpts()...),
+	}
+}
+
+func TestTxIDPacking(t *testing.T) {
+	for _, tc := range []struct {
+		seq uint64
+		tid int
+	}{{1, 0}, {1, 1}, {12345, 1023}, {1 << 40, 512}} {
+		id := makeTx(tc.seq, tc.tid)
+		if seqOf(id) != tc.seq || tidOf(id) != tc.tid {
+			t.Errorf("makeTx(%d,%d) round-trips to (%d,%d)", tc.seq, tc.tid, seqOf(id), tidOf(id))
+		}
+	}
+}
+
+func TestUpdateAndReadRoundTrip(t *testing.T) {
+	for name, e := range volatileEngines(t) {
+		t.Run(name, func(t *testing.T) {
+			root := tm.Root(0)
+			e.Update(func(tx tm.Tx) uint64 {
+				tx.Store(root, 42)
+				return 0
+			})
+			got := e.Read(func(tx tm.Tx) uint64 { return tx.Load(root) })
+			if got != 42 {
+				t.Fatalf("Read after Update = %d, want 42", got)
+			}
+		})
+	}
+}
+
+func TestReadYourWrites(t *testing.T) {
+	for name, e := range volatileEngines(t) {
+		t.Run(name, func(t *testing.T) {
+			root := tm.Root(0)
+			got := e.Update(func(tx tm.Tx) uint64 {
+				tx.Store(root, 7)
+				tx.Store(root, 9) // replace pending store
+				return tx.Load(root)
+			})
+			if got != 9 {
+				t.Fatalf("load of own store = %d, want 9", got)
+			}
+			if v := e.Read(func(tx tm.Tx) uint64 { return tx.Load(root) }); v != 9 {
+				t.Fatalf("committed value = %d, want 9", v)
+			}
+		})
+	}
+}
+
+func TestReadYourWritesLargeTx(t *testing.T) {
+	// Crossing the linear→hash write-set threshold must preserve
+	// read-your-writes and replace semantics.
+	e := NewLF(smallOpts()...)
+	n := 3 * linearMax
+	e.Update(func(tx tm.Tx) uint64 {
+		p := tx.Alloc(n)
+		for i := 0; i < n; i++ {
+			tx.Store(p+tm.Ptr(i), uint64(i))
+		}
+		for i := 0; i < n; i++ {
+			tx.Store(p+tm.Ptr(i), uint64(2*i)) // replace every entry
+		}
+		for i := 0; i < n; i++ {
+			if got := tx.Load(p + tm.Ptr(i)); got != uint64(2*i) {
+				t.Errorf("entry %d = %d, want %d", i, got, 2*i)
+			}
+		}
+		tx.Store(tm.Root(0), uint64(p))
+		return 0
+	})
+	p := tm.Ptr(e.Read(func(tx tm.Tx) uint64 { return tx.Load(tm.Root(0)) }))
+	e.Read(func(tx tm.Tx) uint64 {
+		for i := 0; i < n; i++ {
+			if got := tx.Load(p + tm.Ptr(i)); got != uint64(2*i) {
+				t.Errorf("committed entry %d = %d, want %d", i, got, 2*i)
+			}
+		}
+		return 0
+	})
+}
+
+func TestReadOnlyBodyInUpdate(t *testing.T) {
+	for name, e := range volatileEngines(t) {
+		t.Run(name, func(t *testing.T) {
+			before := e.Stats()
+			got := e.Update(func(tx tm.Tx) uint64 { return tx.Load(tm.Root(1)) })
+			if got != 0 {
+				t.Fatalf("empty root = %d, want 0", got)
+			}
+			d := e.Stats().Sub(before)
+			// The lock-free engine short-circuits an empty write-set;
+			// the wait-free engine always commits one aggregate tx that
+			// writes the result words (§III-E).
+			if name == "lf" && d.Commits != 0 {
+				t.Fatalf("read-only update body committed %d mutative txs", d.Commits)
+			}
+			if name == "wf" && d.Commits == 0 {
+				t.Fatalf("wait-free update did not commit its aggregate tx")
+			}
+		})
+	}
+}
+
+func TestStoreInReadTxPanics(t *testing.T) {
+	e := NewLF(smallOpts()...)
+	defer func() {
+		if r := recover(); r != tm.ErrUpdateInReadTx {
+			t.Fatalf("recover() = %v, want ErrUpdateInReadTx", r)
+		}
+	}()
+	e.Read(func(tx tm.Tx) uint64 {
+		tx.Store(tm.Root(0), 1)
+		return 0
+	})
+}
+
+func TestUserPanicPropagates(t *testing.T) {
+	e := NewLF(smallOpts()...)
+	defer func() {
+		if r := recover(); r != "user-panic" {
+			t.Fatalf("recover() = %v, want user-panic", r)
+		}
+	}()
+	e.Update(func(tx tm.Tx) uint64 { panic("user-panic") })
+}
+
+// TestCounterStress checks linearizability of blind increments: the final
+// sum must equal the number of update transactions.
+func TestCounterStress(t *testing.T) {
+	for name, e := range volatileEngines(t) {
+		t.Run(name, func(t *testing.T) {
+			const workers, perWorker = 8, 400
+			root := tm.Root(0)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perWorker; i++ {
+						e.Update(func(tx tm.Tx) uint64 {
+							tx.Store(root, tx.Load(root)+1)
+							return 0
+						})
+					}
+				}()
+			}
+			wg.Wait()
+			got := e.Read(func(tx tm.Tx) uint64 { return tx.Load(root) })
+			if got != workers*perWorker {
+				t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+			}
+			if e.HEViolations() != 0 {
+				t.Fatalf("hazard-era violations: %d", e.HEViolations())
+			}
+		})
+	}
+}
+
+// TestMultiWordAtomicity keeps an invariant across two words (x + y == 0)
+// and checks that no reader ever observes it broken.
+func TestMultiWordAtomicity(t *testing.T) {
+	for name, e := range volatileEngines(t) {
+		t.Run(name, func(t *testing.T) {
+			x, y := tm.Root(0), tm.Root(1)
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(seed uint64) {
+					defer wg.Done()
+					for i := uint64(0); i < 300; i++ {
+						d := seed*1000 + i
+						e.Update(func(tx tm.Tx) uint64 {
+							tx.Store(x, tx.Load(x)+d)
+							tx.Store(y, tx.Load(y)-d)
+							return 0
+						})
+					}
+				}(uint64(w))
+			}
+			var broken atomic64
+			for r := 0; r < 2; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						sum := e.Read(func(tx tm.Tx) uint64 {
+							return tx.Load(x) + tx.Load(y)
+						})
+						if sum != 0 {
+							broken.add(1)
+						}
+					}
+				}()
+			}
+			// Wait for writers by re-running them synchronously is racy;
+			// instead wait on a separate group.
+			done := make(chan struct{})
+			go func() {
+				wg.Wait()
+				close(done)
+			}()
+			// Writers finish first; readers stop after.
+			for i := 0; i < 4*300; i++ {
+				// spin until the counter indicates all updates applied
+				v := e.Read(func(tx tm.Tx) uint64 { return tx.Load(x) })
+				_ = v
+				break
+			}
+			close(stop)
+			<-done
+			if broken.load() != 0 {
+				t.Fatalf("%d reads observed a torn invariant", broken.load())
+			}
+		})
+	}
+}
+
+// TestAllocFreeReuse allocates, frees, and re-allocates, checking that the
+// freed block is recycled and comes back zeroed.
+func TestAllocFreeReuse(t *testing.T) {
+	e := NewLF(smallOpts()...)
+	var first tm.Ptr
+	e.Update(func(tx tm.Tx) uint64 {
+		p := tx.Alloc(4)
+		tx.Store(p, 111)
+		tx.Store(p+3, 222)
+		first = p
+		tx.Free(p)
+		return 0
+	})
+	e.Update(func(tx tm.Tx) uint64 {
+		p := tx.Alloc(4)
+		if p != first {
+			t.Errorf("Alloc after Free = %d, want recycled %d", p, first)
+		}
+		for i := tm.Ptr(0); i < 4; i++ {
+			if v := tx.Load(p + i); v != 0 {
+				t.Errorf("recycled word %d = %d, want 0", i, v)
+			}
+		}
+		return 0
+	})
+}
+
+// TestAbortedAllocDoesNotLeak: a transaction whose commit CAS loses (forced
+// by a conflicting writer) must not consume heap space.
+func TestAbortedAllocDoesNotLeak(t *testing.T) {
+	e := NewLF(smallOpts()...)
+	// Run conflicting alloc+free transactions concurrently and verify the
+	// heap audit still tiles afterwards (no lost or overlapping blocks).
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				e.Update(func(tx tm.Tx) uint64 {
+					p := tx.Alloc(2)
+					tx.Store(p, 1)
+					tx.Free(p)
+					return 0
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	e.Read(func(tx tm.Tx) uint64 {
+		if _, _, ok := talloc.Audit(tx, e.DynBase()); !ok {
+			t.Error("heap audit failed: blocks do not tile")
+		}
+		return 0
+	})
+}
+
+// atomic64 is a tiny helper avoiding an import cycle in tests.
+type atomic64 struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+func (a *atomic64) add(d uint64) { a.mu.Lock(); a.v += d; a.mu.Unlock() }
+func (a *atomic64) load() uint64 { a.mu.Lock(); defer a.mu.Unlock(); return a.v }

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"onefile/internal/pmem"
+	"onefile/internal/tm"
+)
+
+func TestSlotLogStrideAligned(t *testing.T) {
+	for _, ms := range []int{1, 3, 100, 1 << 10} {
+		s := slotLogStride(ms)
+		if s%pmem.LineWords != 0 {
+			t.Errorf("stride(%d) = %d not line-aligned", ms, s)
+		}
+		if s < 2+2*ms {
+			t.Errorf("stride(%d) = %d too small", ms, s)
+		}
+	}
+}
+
+func TestDeviceConfigSizes(t *testing.T) {
+	cfg := DeviceConfig(pmem.StrictMode, 0, smallOpts()...)
+	c := tm.Apply(smallOpts())
+	if cfg.PairWords != c.HeapWords+1 {
+		t.Errorf("PairWords = %d, want heap+1", cfg.PairWords)
+	}
+	if cfg.RawWords < c.MaxThreads*(2+2*c.MaxStores) {
+		t.Errorf("RawWords = %d too small for %d slots", cfg.RawWords, c.MaxThreads)
+	}
+	if cfg.MaxSlots != c.MaxThreads {
+		t.Errorf("MaxSlots = %d", cfg.MaxSlots)
+	}
+}
+
+func TestNewPersistentRejectsSmallDevice(t *testing.T) {
+	dev, err := pmem.New(pmem.Config{RawWords: 64, PairWords: 64, MaxSlots: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPersistentLF(dev, false, smallOpts()...); !errors.Is(err, ErrBadDevice) {
+		t.Fatalf("err = %v, want ErrBadDevice", err)
+	}
+}
+
+func TestNewEngineRejectsTinyHeapForThreads(t *testing.T) {
+	// 256 slots × 2 result words exceed a minimal heap.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected a panic from tm.Apply or a constructor error")
+		}
+	}()
+	e, err := newEngine(tm.Config{HeapWords: 200, MaxThreads: 256, MaxStores: 8, ReadTries: 1}, false, nil, false)
+	if err == nil {
+		t.Fatalf("tiny heap accepted: %v", e.dynBase)
+	}
+	panic("got expected error") // normalise both failure modes
+}
+
+func TestOutOfRangePointerPanics(t *testing.T) {
+	e := NewLF(smallOpts()...)
+	for name, f := range map[string]func(tx tm.Tx){
+		"load-nil":    func(tx tm.Tx) { tx.Load(0) },
+		"load-beyond": func(tx tm.Tx) { tx.Load(tm.Ptr(e.cfg.HeapWords)) },
+		"store-nil":   func(tx tm.Tx) { tx.Store(0, 1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			e.Update(func(tx tm.Tx) uint64 {
+				f(tx)
+				return 0
+			})
+		})
+	}
+}
+
+func TestTooManyStoresPanics(t *testing.T) {
+	e := NewLF(tm.WithHeapWords(1<<14), tm.WithMaxThreads(4), tm.WithMaxStores(16))
+	defer func() {
+		if r := recover(); r != tm.ErrTooManyStores {
+			t.Fatalf("recover() = %v, want ErrTooManyStores", r)
+		}
+	}()
+	e.Update(func(tx tm.Tx) uint64 {
+		p := tx.Alloc(8)
+		for i := tm.Ptr(0); i < 32; i++ {
+			tx.Store(p+i%8, uint64(i))
+		}
+		// Distinct addresses are what count; alloc more.
+		q := tx.Alloc(32)
+		for i := tm.Ptr(0); i < 32; i++ {
+			tx.Store(q+i, uint64(i))
+		}
+		return 0
+	})
+}
+
+func TestRecoverOnVolatileEngineErrors(t *testing.T) {
+	e := NewLF(smallOpts()...)
+	if err := e.Recover(); err == nil {
+		t.Fatal("Recover on a volatile engine succeeded")
+	}
+}
+
+func TestCloseIsIdempotent(t *testing.T) {
+	e := NewLF(smallOpts()...)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	if NewLF(smallOpts()...).Name() != "OF-LF" || NewWF(smallOpts()...).Name() != "OF-WF" {
+		t.Fatal("volatile names wrong")
+	}
+	e, _ := newPTM(t, false, pmem.StrictMode, 0)
+	if e.Name() != "OF-LF-PTM" {
+		t.Fatalf("PTM name = %s", e.Name())
+	}
+	w, _ := newPTM(t, true, pmem.StrictMode, 0)
+	if w.Name() != "OF-WF-PTM" {
+		t.Fatalf("WF PTM name = %s", w.Name())
+	}
+}
+
+// TestSequentialOpacity: a doomed reader must abort rather than observe a
+// mixed snapshot, even mid-body.
+func TestSequentialOpacity(t *testing.T) {
+	e := NewLF(smallOpts()...)
+	x, y := tm.Root(0), tm.Root(1)
+	e.Update(func(tx tm.Tx) uint64 {
+		tx.Store(x, 1)
+		tx.Store(y, 1)
+		return 0
+	})
+	// Interleave manually: a read tx loads x, then an update changes both,
+	// then the read tx loads y — it must abort (seq check), not return 1+2.
+	started := make(chan struct{})
+	proceed := make(chan struct{})
+	done := make(chan uint64, 1)
+	go func() {
+		first := true
+		done <- e.Read(func(tx tm.Tx) uint64 {
+			a := tx.Load(x)
+			if first {
+				first = false
+				close(started)
+				<-proceed
+			}
+			b := tx.Load(y)
+			return a + b
+		})
+	}()
+	<-started
+	e.Update(func(tx tm.Tx) uint64 {
+		tx.Store(x, 2)
+		tx.Store(y, 2)
+		return 0
+	})
+	close(proceed)
+	if got := <-done; got != 2 && got != 4 {
+		t.Fatalf("observed mixed snapshot: %d", got)
+	}
+}
+
+func TestHeapPointerErrorMessage(t *testing.T) {
+	e := NewLF(smallOpts()...)
+	defer func() {
+		r := recover()
+		err, ok := r.(error)
+		if !ok {
+			t.Fatalf("recover() = %v, want error", r)
+		}
+		if want := fmt.Sprintf("heap pointer %d out of range", e.cfg.HeapWords+5); err.Error() == "" || !contains(err.Error(), want) {
+			t.Fatalf("err = %q, want mention of %q", err, want)
+		}
+	}()
+	e.Read(func(tx tm.Tx) uint64 { return tx.Load(tm.Ptr(e.cfg.HeapWords + 5)) })
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		func() bool {
+			for i := 0; i+len(sub) <= len(s); i++ {
+				if s[i:i+len(sub)] == sub {
+					return true
+				}
+			}
+			return false
+		}())
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"onefile/internal/pmem"
+	"onefile/internal/talloc"
+	"onefile/internal/tm"
+)
+
+// TestCrashTorture is the randomized crash-recovery fuzz: for many seeds,
+// run a chain of "generation" transactions — each bumps a generation
+// counter and rewrites M linked words plus a reallocated block to that
+// generation — on a relaxed-mode device, crash at a random persistence
+// event, recover, and check the strongest invariant the design promises:
+// the recovered heap is EXACTLY generation g for some g (all-or-nothing
+// per transaction, no mixing across transactions), the reallocated block
+// matches, and the allocator audits clean.
+func TestCrashTorture(t *testing.T) {
+	const (
+		seeds = 60
+		words = 6
+	)
+	for _, wf := range []bool{false, true} {
+		t.Run(fmt.Sprintf("wf=%v", wf), func(t *testing.T) {
+			for seed := int64(1); seed <= seeds; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				dev, err := pmem.New(DeviceConfig(pmem.RelaxedMode, seed, smallOpts()...))
+				if err != nil {
+					t.Fatal(err)
+				}
+				e, err := newPTMOn(dev, wf, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Setup: a block of words and a pointer slot, generation 0.
+				e.Update(func(tx tm.Tx) uint64 {
+					b := tx.Alloc(words)
+					tx.Store(tm.Root(1), uint64(b))
+					p := tx.Alloc(2)
+					tx.Store(tm.Root(2), uint64(p))
+					return 0
+				})
+
+				// Run transactions, crashing at a random event.
+				crashAt := rng.Intn(400) + 1
+				n := 0
+				dev.SetHook(func(pmem.Event) {
+					n++
+					if n == crashAt {
+						panic(errCrashPoint)
+					}
+				})
+				acked := uint64(0)
+				func() {
+					defer func() {
+						if r := recover(); r != nil && r != errCrashPoint {
+							panic(r)
+						}
+					}()
+					for g := uint64(1); g <= 25; g++ {
+						gen := g
+						e.Update(func(tx tm.Tx) uint64 {
+							tx.Store(tm.Root(0), gen)
+							b := tm.Ptr(tx.Load(tm.Root(1)))
+							for i := 0; i < words; i++ {
+								tx.Store(b+tm.Ptr(i), gen)
+							}
+							// Reallocate the side block every generation.
+							old := tm.Ptr(tx.Load(tm.Root(2)))
+							tx.Free(old)
+							np := tx.Alloc(2)
+							tx.Store(np, gen)
+							tx.Store(tm.Root(2), uint64(np))
+							return 0
+						})
+						acked = gen
+					}
+				}()
+				dev.SetHook(nil)
+				dev.Crash()
+				r, err := newPTMOn(dev, wf, true)
+				if err != nil {
+					t.Fatalf("seed %d: attach: %v", seed, err)
+				}
+				r.Read(func(tx tm.Tx) uint64 {
+					g := tx.Load(tm.Root(0))
+					if g < acked || g > acked+1 {
+						t.Fatalf("seed %d: generation %d with %d acked", seed, g, acked)
+					}
+					b := tm.Ptr(tx.Load(tm.Root(1)))
+					for i := 0; i < words; i++ {
+						if got := tx.Load(b + tm.Ptr(i)); got != g {
+							t.Fatalf("seed %d: word %d = %d, generation %d (torn)", seed, i, got, g)
+						}
+					}
+					p := tm.Ptr(tx.Load(tm.Root(2)))
+					if got := tx.Load(p); got != g && !(g == 0 && got == 0) {
+						t.Fatalf("seed %d: realloc block = %d, generation %d", seed, got, g)
+					}
+					if _, _, ok := talloc.Audit(tx, r.DynBase()); !ok {
+						t.Fatalf("seed %d: allocator audit failed", seed)
+					}
+					return 0
+				})
+				// The recovered engine must keep working.
+				r.Update(func(tx tm.Tx) uint64 {
+					tx.Store(tm.Root(0), 999)
+					return 0
+				})
+				if got := r.Read(func(tx tm.Tx) uint64 { return tx.Load(tm.Root(0)) }); got != 999 {
+					t.Fatalf("seed %d: post-recovery update lost", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestDoubleCrashTorture crashes, recovers, runs more transactions, and
+// crashes again — recovery must compose.
+func TestDoubleCrashTorture(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		dev, err := pmem.New(DeviceConfig(pmem.RelaxedMode, seed, smallOpts()...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewPersistentLF(dev, false, smallOpts()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(e *Engine, from, to uint64, crashAt int) uint64 {
+			n := 0
+			if crashAt > 0 {
+				dev.SetHook(func(pmem.Event) {
+					n++
+					if n == crashAt {
+						panic(errCrashPoint)
+					}
+				})
+			}
+			defer dev.SetHook(nil)
+			acked := from
+			func() {
+				defer func() {
+					if r := recover(); r != nil && r != errCrashPoint {
+						panic(r)
+					}
+				}()
+				for g := from + 1; g <= to; g++ {
+					gen := g
+					e.Update(func(tx tm.Tx) uint64 {
+						tx.Store(tm.Root(0), gen)
+						tx.Store(tm.Root(1), gen*2)
+						return 0
+					})
+					acked = gen
+				}
+			}()
+			return acked
+		}
+		rng := rand.New(rand.NewSource(seed * 31))
+		acked1 := run(e, 0, 15, rng.Intn(120)+1)
+		dev.Crash()
+		e2, err := NewPersistentLF(dev, true, smallOpts()...)
+		if err != nil {
+			t.Fatalf("seed %d: first attach: %v", seed, err)
+		}
+		g1 := e2.Read(func(tx tm.Tx) uint64 { return tx.Load(tm.Root(0)) })
+		if g1 < acked1 || g1 > acked1+1 {
+			t.Fatalf("seed %d: first recovery g=%d acked=%d", seed, g1, acked1)
+		}
+		acked2 := run(e2, g1, g1+15, rng.Intn(120)+1)
+		dev.Crash()
+		e3, err := NewPersistentLF(dev, true, smallOpts()...)
+		if err != nil {
+			t.Fatalf("seed %d: second attach: %v", seed, err)
+		}
+		e3.Read(func(tx tm.Tx) uint64 {
+			g := tx.Load(tm.Root(0))
+			if g < acked2 || g > acked2+1 {
+				t.Fatalf("seed %d: second recovery g=%d acked=%d", seed, g, acked2)
+			}
+			if tx.Load(tm.Root(1)) != g*2 {
+				t.Fatalf("seed %d: torn pair after double crash", seed)
+			}
+			return 0
+		})
+	}
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+
+	"onefile/internal/dcas"
+	"onefile/internal/talloc"
+	"onefile/internal/tm"
+)
+
+// uTx is the transaction handle of the transform phase of an update
+// transaction: loads are interposed with the sequence check of Alg. 1 and
+// consult the write-set first (read-your-writes); stores go to the redo log
+// only.
+type uTx struct {
+	e        *Engine
+	s        *slot
+	startSeq uint64
+}
+
+var _ tm.Tx = (*uTx)(nil)
+
+func (t *uTx) check(p tm.Ptr) {
+	if p == 0 || int(p) >= t.e.cfg.HeapWords {
+		panic(fmt.Errorf("core: heap pointer %d out of range", p))
+	}
+}
+
+// Load implements tm.Tx. Aborting on a sequence newer than the transaction's
+// start guarantees an opaque snapshot and, per §IV-A Proposition 1, makes
+// reads of de-allocated memory harmless.
+func (t *uTx) Load(p tm.Ptr) uint64 {
+	t.check(p)
+	if v, ok := t.s.ws.lookup(uint64(p)); ok {
+		return v
+	}
+	pr := t.e.words[p].Snapshot()
+	if pr.Seq > t.startSeq {
+		panic(abortSignal{})
+	}
+	return pr.Val
+}
+
+// Store implements tm.Tx: it records the store in the redo log (Alg. 1
+// store interposition); nothing is written in place until the apply phase.
+func (t *uTx) Store(p tm.Ptr, v uint64) {
+	t.check(p)
+	t.s.ws.addOrReplace(uint64(p), v)
+}
+
+// Alloc implements tm.Tx.
+func (t *uTx) Alloc(n int) tm.Ptr { return talloc.Alloc(t, n) }
+
+// Free implements tm.Tx.
+func (t *uTx) Free(p tm.Ptr) { talloc.Free(t, p) }
+
+// rTx is the read-only transaction handle: seq-validated loads, no
+// mutation.
+type rTx struct {
+	e        *Engine
+	startSeq uint64
+}
+
+var _ tm.Tx = (*rTx)(nil)
+
+func (t *rTx) Load(p tm.Ptr) uint64 {
+	if p == 0 || int(p) >= t.e.cfg.HeapWords {
+		panic(fmt.Errorf("core: heap pointer %d out of range", p))
+	}
+	pr := t.e.words[p].Snapshot()
+	if pr.Seq > t.startSeq {
+		panic(abortSignal{})
+	}
+	return pr.Val
+}
+
+func (t *rTx) Store(tm.Ptr, uint64) { panic(tm.ErrUpdateInReadTx) }
+func (t *rTx) Alloc(int) tm.Ptr     { panic(tm.ErrUpdateInReadTx) }
+func (t *rTx) Free(tm.Ptr)          { panic(tm.ErrUpdateInReadTx) }
+
+// catchAbort runs f, absorbing the abort panic. Any other panic propagates.
+func catchAbort(f func()) (aborted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortSignal); ok {
+				aborted = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	f()
+	return false
+}
+
+// Update implements tm.Engine: a mutative transaction with lock-free
+// (NewLF/NewPersistentLF) or bounded wait-free (NewWF/NewPersistentWF)
+// progress.
+func (e *Engine) Update(fn func(tx tm.Tx) uint64) uint64 {
+	s := e.acquire()
+	defer e.release(s)
+	if e.waitFree {
+		return e.updateWF(s, fn)
+	}
+	return e.updateLF(s, fn)
+}
+
+// updateLF is the lock-free update path: the ten steps of §III-B.
+func (e *Engine) updateLF(s *slot, fn func(tx tm.Tx) uint64) uint64 {
+	for {
+		oldTx := e.curTx.Load() // step 1
+		if e.pending(oldTx) {   // step 2: help the ongoing transaction
+			e.helpApply(oldTx, s)
+			continue
+		}
+		res, ok := e.transform(s, fn, seqOf(oldTx)) // step 3
+		if !ok {
+			e.st.aborts.Add(1)
+			continue
+		}
+		if s.ws.n == 0 { // step 4: no stores — a read-only body
+			e.st.readCommits.Add(1)
+			return res
+		}
+		newTx := makeTx(seqOf(oldTx)+1, s.id)
+		if !e.commitAndApply(s, oldTx, newTx) {
+			e.st.aborts.Add(1)
+			continue
+		}
+		return res
+	}
+}
+
+// transform runs the user body, building the write-set (redo log).
+func (e *Engine) transform(s *slot, fn func(tx tm.Tx) uint64, startSeq uint64) (res uint64, ok bool) {
+	s.ws.reset()
+	tx := uTx{e: e, s: s, startSeq: startSeq}
+	aborted := catchAbort(func() { res = fn(&tx) })
+	return res, !aborted
+}
+
+// commitAndApply performs steps 5–10 of §III-B: open the request, persist
+// the write-set, commit by CASing curTx, apply every entry with a DCAS,
+// persist the modified words, close the request. Returns false if the
+// commit CAS lost.
+func (e *Engine) commitAndApply(s *slot, oldTx, newTx uint64) bool {
+	s.ws.publish()         // numStores becomes visible to helpers
+	s.request.Store(newTx) // step 5: open the request
+	if e.dev != nil {
+		// Step 6: one pwb per cache line of the write-set (the request
+		// and numStores words share the log's first line).
+		e.dev.Flush(s.id, s.logOff, 2+2*s.ws.n)
+	}
+	e.st.cas.Add(1)
+	if !e.curTx.CompareAndSwap(oldTx, newTx) { // step 7: commit
+		return false
+	}
+	e.st.commits.Add(1)
+	if e.dev != nil {
+		// The successful CAS orders the prior pwbs (x86: a locked RMW
+		// acts as a persistence fence) — hence Drain, not Fence.
+		e.dev.Drain(s.id)
+		e.dev.FlushPair(s.id, e.curTxImg, &dcas.Pair{Val: newTx, Seq: newTx})
+		// The first DCAS of the apply phase orders curTx's pwb.
+		e.dev.Drain(s.id)
+	}
+	e.applyOwn(s, newTx) // steps 8–9
+	e.closeRequest(s, newTx)
+	return true
+}
+
+// applyOwn applies the slot's own write-set (no snapshot copy needed: the
+// owner's log is frozen until its request closes).
+func (e *Engine) applyOwn(s *slot, txid uint64) {
+	n := uint64(s.ws.n)
+	seq := seqOf(txid)
+	for i := uint64(0); i < n; i++ {
+		j := (uint64(s.id)*8 + i) % n
+		addr := s.logEnt[2*j].Load()
+		val := s.logEnt[2*j+1].Load()
+		e.applyWord(s, addr, val, seq)
+	}
+}
+
+// applyWord performs the seq-guarded DCAS of Alg. 1 on one heap word and,
+// on the persistent variants, flushes the word's current content (step 9 —
+// every address is flushed even when another helper won the DCAS, so the
+// word is durable before the request closes).
+func (e *Engine) applyWord(s *slot, addr, val, seq uint64) {
+	if addr == 0 || addr >= uint64(e.cfg.HeapWords) {
+		return // defensive: a corrupt recovered log must not crash apply
+	}
+	w := &e.words[addr]
+	for {
+		p := w.Snapshot()
+		if p.Seq >= seq {
+			break // already applied (possibly by a newer transaction)
+		}
+		e.st.dcas.Add(1)
+		if w.CompareAndSwap(p, val, seq) {
+			break
+		}
+	}
+	if e.dev != nil {
+		e.dev.FlushPair(s.id, int(addr), w.Snapshot())
+	}
+}
+
+// closeRequest closes the slot's request (step 10); committer and helpers
+// race benignly on the CAS.
+func (e *Engine) closeRequest(s *slot, txid uint64) {
+	owner := &e.slots[tidOf(txid)]
+	if e.dev != nil {
+		e.dev.Drain(s.id) // the close CAS orders the apply-phase pwbs
+	}
+	e.st.cas.Add(1)
+	owner.request.CompareAndSwap(txid, txid+1)
+}
+
+// helpApply applies the committed-but-unapplied transaction txid on behalf
+// of its owner: copy the owner's write-set, re-validate the request, then
+// run the same apply phase the owner would (§III-A).
+func (e *Engine) helpApply(txid uint64, helper *slot) {
+	owner := &e.slots[tidOf(txid)]
+	if owner.request.Load() != txid {
+		return
+	}
+	n := owner.logNum.Load()
+	if n == 0 || n > uint64(e.cfg.MaxStores) {
+		return
+	}
+	if uint64(cap(helper.helpBuf)) < 2*n {
+		helper.helpBuf = make([]uint64, 2*n)
+	}
+	buf := helper.helpBuf[:2*n]
+	for i := range buf {
+		buf[i] = owner.logEnt[i].Load()
+	}
+	if owner.request.Load() != txid {
+		return // the write-set was re-used; the transaction is done
+	}
+	e.st.helps.Add(1)
+	if e.dev != nil {
+		// A helper persists curTx before applying, so a word flushed at
+		// sequence s is never durable before curTx reaches s (§III-D).
+		e.dev.FlushPair(helper.id, e.curTxImg, &dcas.Pair{Val: txid, Seq: txid})
+		e.dev.Drain(helper.id)
+	}
+	seq := seqOf(txid)
+	tid := uint64(tidOf(txid))
+	for i := uint64(0); i < n; i++ {
+		j := (tid*8 + i) % n
+		e.applyWord(helper, buf[2*j], buf[2*j+1], seq)
+	}
+	e.closeRequest(helper, txid)
+}
+
+// Read implements tm.Engine: a read-only transaction. It first helps apply
+// any committed-but-unapplied transaction (to observe a globally consistent
+// view), then runs the body with seq-validated loads, retrying on
+// validation failure. On the wait-free variants a body that fails ReadTries
+// times is published as an operation, bounding the retries (§III-E).
+func (e *Engine) Read(fn func(tx tm.Tx) uint64) uint64 {
+	s := e.acquire()
+	defer e.release(s)
+	for tries := 0; ; tries++ {
+		oldTx := e.curTx.Load()
+		if e.pending(oldTx) {
+			e.helpApply(oldTx, s)
+		}
+		tx := rTx{e: e, startSeq: seqOf(oldTx)}
+		var res uint64
+		if !catchAbort(func() { res = fn(&tx) }) {
+			e.st.readCommits.Add(1)
+			return res
+		}
+		e.st.readAborts.Add(1)
+		if e.waitFree && tries+1 >= e.cfg.ReadTries {
+			return e.publishAndRun(s, fn)
+		}
+	}
+}

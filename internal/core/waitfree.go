@@ -1,0 +1,132 @@
+package core
+
+import (
+	"onefile/internal/tm"
+)
+
+// resultWord returns the heap words carrying slot tid's operation result:
+// the value word and the tag word. Both are ordinary TM words (the paper's
+// results array of TMTypes), so results commit atomically with the
+// transaction that produced them and, on the PTMs, are durable.
+func (e *Engine) resultWord(tid int) (val, tag tm.Ptr) {
+	base := e.resultsBase + tm.Ptr(2*tid)
+	return base, base + 1
+}
+
+// updateWF is the bounded wait-free update path (§III-E): publish the
+// operation, then alternate between helping the pending transaction and
+// committing an aggregate transaction that executes every published
+// operation — including, necessarily, our own.
+func (e *Engine) updateWF(s *slot, fn func(tx tm.Tx) uint64) uint64 {
+	s.opTag++
+	d := &opDesc{fn: fn, tag: s.opTag, birth: seqOf(e.curTx.Load())}
+	s.opSlot.Store(d)
+	res := e.runPublished(s, d)
+	s.opSlot.Store(nil)
+	// The descriptor's lifetime ends here; hand it to hazard eras. The
+	// free callback poisons the descriptor so tests can detect a protocol
+	// violation (in C++ this would be the actual deallocation).
+	e.eras.Retire(s.id, d.birth, seqOf(e.curTx.Load()), func() { d.reclaimed.Store(true) })
+	return res
+}
+
+// publishAndRun escalates a read-only body that exhausted its optimistic
+// attempts: it is published like an update operation, guaranteeing that
+// within a bounded number of transactions some thread executes it (§III-E).
+func (e *Engine) publishAndRun(s *slot, fn func(tx tm.Tx) uint64) uint64 {
+	return e.updateWF(s, fn)
+}
+
+// runPublished drives a published operation to completion.
+func (e *Engine) runPublished(s *slot, d *opDesc) uint64 {
+	defer e.eras.Clear(s.id)
+	for {
+		if res, done := e.opResult(s.id, d.tag); done {
+			return res
+		}
+		oldTx := e.curTx.Load()
+		e.eras.Protect(s.id, seqOf(oldTx))
+		if e.curTx.Load() != oldTx {
+			continue // era announcement raced with a commit; re-read
+		}
+		if e.pending(oldTx) {
+			e.helpApply(oldTx, s)
+			continue
+		}
+		ok := e.transformAggregate(s, seqOf(oldTx))
+		if !ok {
+			e.st.aborts.Add(1)
+			continue
+		}
+		if s.ws.n == 0 {
+			// Every published operation (ours included) was already
+			// tagged done; loop back to fetch the result.
+			continue
+		}
+		newTx := makeTx(seqOf(oldTx)+1, s.id)
+		if !e.commitAndApply(s, oldTx, newTx) {
+			e.st.aborts.Add(1)
+			continue
+		}
+	}
+}
+
+// transformAggregate builds one write-set executing every published
+// operation that is not yet done, storing each result and its tag through
+// ordinary transactional stores — so exactly-once execution follows from
+// the single commit CAS (two aggregates never both commit for the same
+// sequence, and the loser re-reads the tags).
+func (e *Engine) transformAggregate(s *slot, startSeq uint64) bool {
+	s.ws.reset()
+	tx := uTx{e: e, s: s, startSeq: startSeq}
+	aborted := catchAbort(func() {
+		for t := range e.slots {
+			d := e.slots[t].opSlot.Load()
+			if d == nil {
+				continue
+			}
+			if d.birth > startSeq {
+				// Published by a newer era than our snapshot: not
+				// covered by our hazard-era announcement, and
+				// executing it could break isolation. A newer
+				// transaction will pick it up (§IV-B).
+				continue
+			}
+			if d.reclaimed.Load() {
+				// Hazard-era protocol violation (would be a
+				// use-after-free in C++). Never happens; counted so
+				// tests can assert that.
+				e.st.heViolations.Add(1)
+				continue
+			}
+			valW, tagW := e.resultWord(t)
+			if tx.Load(tagW) == d.tag {
+				continue // already executed by a committed transaction
+			}
+			r := d.fn(&tx)
+			tx.Store(valW, r)
+			tx.Store(tagW, d.tag)
+			if t != s.id {
+				e.st.aggregated.Add(1)
+			}
+		}
+	})
+	return !aborted
+}
+
+// opResult reports whether slot tid's operation with the given tag has been
+// executed by a committed-and-applied transaction, and its result.
+func (e *Engine) opResult(tid int, tag uint64) (uint64, bool) {
+	valW, tagW := e.resultWord(tid)
+	rt := e.words[tagW].Snapshot()
+	if rt.Val != tag {
+		return 0, false
+	}
+	rv := e.words[valW].Snapshot()
+	if rv.Seq >= rt.Seq {
+		return rv.Val, true
+	}
+	// The tag is applied but the value word is not yet: the transaction
+	// is still in its apply phase; the caller will help and retry.
+	return 0, false
+}

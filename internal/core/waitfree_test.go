@@ -1,0 +1,247 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"onefile/internal/tm"
+)
+
+// TestWFAggregationHappens: a slow published operation must be executed by
+// a faster concurrent thread on the publisher's behalf — the §III-E helping
+// mechanism. The slow body sleeps, so if nobody helped, the committed result
+// could only appear after the sleeping thread's own commit; we assert the
+// AggregatedOp counter instead, which only helping increments.
+func TestWFAggregationHappens(t *testing.T) {
+	e := NewWF(smallOpts()...)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // slow publisher: its op sleeps on every self-execution
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			e.Update(func(tx tm.Tx) uint64 {
+				time.Sleep(20 * time.Millisecond)
+				tx.Store(tm.Root(0), tx.Load(tm.Root(0))+1)
+				return 0
+			})
+		}
+	}()
+	go func() { // fast worker: commits frequently, aggregating the slow op
+		defer wg.Done()
+		deadline := time.Now().Add(300 * time.Millisecond)
+		for time.Now().Before(deadline) {
+			e.Update(func(tx tm.Tx) uint64 {
+				tx.Store(tm.Root(1), tx.Load(tm.Root(1))+1)
+				return 0
+			})
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	if got := e.Read(func(tx tm.Tx) uint64 { return tx.Load(tm.Root(0)) }); got != 3 {
+		t.Fatalf("slow counter = %d, want 3 (lost or duplicated execution)", got)
+	}
+	if e.Stats().AggregatedOp == 0 {
+		t.Error("no operation was ever executed on behalf of another thread")
+	}
+	if e.HEViolations() != 0 {
+		t.Fatalf("hazard-era violations: %d", e.HEViolations())
+	}
+}
+
+// TestWFDescriptorsReclaimed: hazard eras must eventually reclaim retired
+// operation descriptors, and never one still in use.
+func TestWFDescriptorsReclaimed(t *testing.T) {
+	e := NewWF(smallOpts()...)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				e.Update(func(tx tm.Tx) uint64 {
+					tx.Store(tm.Root(0), tx.Load(tm.Root(0))+1)
+					return 0
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if e.Eras().Reclaimed() == 0 {
+		t.Error("hazard eras never reclaimed a descriptor")
+	}
+	if e.HEViolations() != 0 {
+		t.Fatalf("hazard-era violations: %d", e.HEViolations())
+	}
+}
+
+// TestWFResultsReturnedToRightCaller: concurrent operations with distinct
+// results must each get their own result back (the results array is
+// per-slot and tagged).
+func TestWFResultsReturnedToRightCaller(t *testing.T) {
+	e := NewWF(smallOpts()...)
+	const workers, per = 8, 300
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < per; i++ {
+				want := id<<32 | i
+				got := e.Update(func(tx tm.Tx) uint64 {
+					tx.Store(tm.Root(1), tx.Load(tm.Root(1))+1)
+					return want
+				})
+				if got != want {
+					errs <- "wrong result returned"
+					return
+				}
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+	close(errs)
+	if msg, bad := <-errs; bad {
+		t.Fatal(msg)
+	}
+}
+
+// TestWFReadPromotion: with a single optimistic attempt and relentless
+// writers, read-only transactions are published as operations and still
+// observe consistent snapshots.
+func TestWFReadPromotion(t *testing.T) {
+	e := NewWF(append(smallOpts(), tm.WithReadTries(1))...)
+	x, y := tm.Root(0), tm.Root(1)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(d uint64) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e.Update(func(tx tm.Tx) uint64 {
+					tx.Store(x, tx.Load(x)+d)
+					tx.Store(y, tx.Load(y)-d)
+					return 0
+				})
+			}
+		}(uint64(w + 1))
+	}
+	deadline := time.Now().Add(300 * time.Millisecond)
+	reads := 0
+	for time.Now().Before(deadline) {
+		if sum := e.Read(func(tx tm.Tx) uint64 { return tx.Load(x) + tx.Load(y) }); sum != 0 {
+			t.Errorf("torn promoted read: %d", sum)
+			break
+		}
+		reads++
+	}
+	close(stop)
+	wg.Wait()
+	if reads == 0 {
+		t.Fatal("no reads completed")
+	}
+	if e.Stats().ReadAborts == 0 {
+		t.Log("note: reads never aborted; promotion path unexercised this run")
+	}
+}
+
+// TestWFMixedSizes: aggregation must cope with operations of wildly
+// different write-set sizes in the same batch.
+func TestWFMixedSizes(t *testing.T) {
+	e := NewWF(smallOpts()...)
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				n := 1 << (w % 5) // 1..16 stores
+				e.Update(func(tx tm.Tx) uint64 {
+					p := tx.Alloc(n)
+					for j := 0; j < n; j++ {
+						tx.Store(p+tm.Ptr(j), uint64(j))
+					}
+					tx.Free(p)
+					tx.Store(tm.Root(2), tx.Load(tm.Root(2))+uint64(n))
+					return 0
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := uint64(0)
+	for w := 0; w < 6; w++ {
+		want += uint64(100 * (1 << (w % 5)))
+	}
+	if got := e.Read(func(tx tm.Tx) uint64 { return tx.Load(tm.Root(2)) }); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+// TestLFContentionAborts: the lock-free engine must record aborts (lost
+// commit CASes) under contention yet never lose an update.
+func TestLFContentionAborts(t *testing.T) {
+	e := NewLF(smallOpts()...)
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				e.Update(func(tx tm.Tx) uint64 {
+					tx.Store(tm.Root(0), tx.Load(tm.Root(0))+1)
+					return 0
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := e.Read(func(tx tm.Tx) uint64 { return tx.Load(tm.Root(0)) }); got != workers*per {
+		t.Fatalf("counter = %d", got)
+	}
+	s := e.Stats()
+	if s.Helps == 0 {
+		t.Log("note: no helping observed this run")
+	}
+	if s.Commits != workers*per {
+		t.Fatalf("commits = %d, want %d", s.Commits, workers*per)
+	}
+}
+
+// TestWFPTMAggregatedDurability: aggregated operations on the persistent
+// wait-free engine must be durable exactly like own-thread ones.
+func TestWFPTMAggregatedDurability(t *testing.T) {
+	e, dev := newPTM(t, true, 0x2 /* RelaxedMode */, 77)
+	const workers, per = 6, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				e.Update(func(tx tm.Tx) uint64 {
+					tx.Store(tm.Root(0), tx.Load(tm.Root(0))+1)
+					return 0
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	dev.Crash()
+	r, err := newPTMOn(dev, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Read(func(tx tm.Tx) uint64 { return tx.Load(tm.Root(0)) }); got != workers*per {
+		t.Fatalf("recovered counter = %d, want %d", got, workers*per)
+	}
+}

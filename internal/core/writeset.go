@@ -1,0 +1,145 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"onefile/internal/tm"
+)
+
+// linearMax is the write-set size up to which lookups scan the entry array
+// linearly; beyond it the intrusive hash index is used (paper §III-A: "short
+// transactions (less than 40 stores) do a linear lookup").
+const linearMax = 40
+
+// writeSet is a thread slot's redo log: the paper's WriteSet (Alg. 1).
+//
+// The entries themselves — (address, value) word pairs plus the store count
+// — live in a shared atomic array so helper threads can copy them during
+// the apply phase; on the persistent engines that array is a window into
+// the emulated NVM device. Everything else (the count under construction,
+// the hash index) is owner-private.
+type writeSet struct {
+	num *atomic.Uint64  // shared store count (numStores), published at commit
+	ent []atomic.Uint64 // shared entries: ent[2i] = address, ent[2i+1] = value
+
+	n   int // owner-private count during the transform phase
+	cap int
+
+	// Intrusive hash index, owner-private, versioned so reset is O(1).
+	buckets []int32
+	bver    []uint32
+	next    []int32
+	ver     uint32
+	mask    uint32
+	hashed  bool
+}
+
+func newWriteSet(num *atomic.Uint64, ent []atomic.Uint64, maxStores int) writeSet {
+	nb := 1
+	for nb < 2*maxStores {
+		nb <<= 1
+	}
+	return writeSet{
+		num:     num,
+		ent:     ent,
+		cap:     maxStores,
+		buckets: make([]int32, nb),
+		bver:    make([]uint32, nb),
+		next:    make([]int32, maxStores),
+		mask:    uint32(nb - 1),
+	}
+}
+
+// reset discards the write-set for a new transform phase.
+func (w *writeSet) reset() {
+	w.n = 0
+	w.hashed = false
+	w.ver++
+	if w.ver == 0 { // version wrapped: invalidate all buckets the slow way
+		clear(w.bver)
+		w.ver = 1
+	}
+}
+
+func hashAddr(a uint64) uint32 {
+	a *= 0x9E3779B97F4A7C15
+	return uint32(a >> 33)
+}
+
+func (w *writeSet) bucket(a uint64) *int32 {
+	b := hashAddr(a) & w.mask
+	if w.bver[b] != w.ver {
+		w.bver[b] = w.ver
+		w.buckets[b] = -1
+	}
+	return &w.buckets[b]
+}
+
+// lookup returns the pending value stored for addr, if any. Loads inside an
+// update transaction consult it first so a transaction reads its own writes.
+func (w *writeSet) lookup(addr uint64) (uint64, bool) {
+	if !w.hashed {
+		for i := 0; i < w.n; i++ {
+			if w.ent[2*i].Load() == addr {
+				return w.ent[2*i+1].Load(), true
+			}
+		}
+		return 0, false
+	}
+	for i := *w.bucket(addr); i >= 0; i = w.next[i] {
+		if w.ent[2*i].Load() == addr {
+			return w.ent[2*i+1].Load(), true
+		}
+	}
+	return 0, false
+}
+
+// addOrReplace records a store of val to addr, replacing any pending store
+// to the same address (paper §III-A). It panics with tm.ErrTooManyStores if
+// the transaction exceeds the configured write-set capacity.
+func (w *writeSet) addOrReplace(addr, val uint64) {
+	if !w.hashed {
+		for i := 0; i < w.n; i++ {
+			if w.ent[2*i].Load() == addr {
+				w.ent[2*i+1].Store(val)
+				return
+			}
+		}
+	} else {
+		for i := *w.bucket(addr); i >= 0; i = w.next[i] {
+			if w.ent[2*i].Load() == addr {
+				w.ent[2*i+1].Store(val)
+				return
+			}
+		}
+	}
+	if w.n >= w.cap {
+		panic(tm.ErrTooManyStores)
+	}
+	i := w.n
+	w.ent[2*i].Store(addr)
+	w.ent[2*i+1].Store(val)
+	w.n++
+	if w.hashed {
+		b := w.bucket(addr)
+		w.next[i] = *b
+		*b = int32(i)
+	} else if w.n > linearMax {
+		w.buildHash()
+	}
+}
+
+// buildHash indexes the existing entries once the linear threshold is
+// crossed.
+func (w *writeSet) buildHash() {
+	w.hashed = true
+	for i := 0; i < w.n; i++ {
+		b := w.bucket(w.ent[2*i].Load())
+		w.next[i] = *b
+		*b = int32(i)
+	}
+}
+
+// publish makes the store count visible to helpers (called just before the
+// request is opened).
+func (w *writeSet) publish() { w.num.Store(uint64(w.n)) }

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func newTestWS(capacity int) *writeSet {
+	num := new(atomic.Uint64)
+	ent := make([]atomic.Uint64, 2*capacity)
+	ws := newWriteSet(num, ent, capacity)
+	return &ws
+}
+
+func TestWriteSetAddLookup(t *testing.T) {
+	ws := newTestWS(64)
+	ws.reset()
+	if _, ok := ws.lookup(5); ok {
+		t.Fatal("lookup on empty set hit")
+	}
+	ws.addOrReplace(5, 50)
+	ws.addOrReplace(6, 60)
+	if v, ok := ws.lookup(5); !ok || v != 50 {
+		t.Fatalf("lookup(5) = %d,%v", v, ok)
+	}
+	ws.addOrReplace(5, 55)
+	if v, _ := ws.lookup(5); v != 55 {
+		t.Fatalf("replace failed: %d", v)
+	}
+	if ws.n != 2 {
+		t.Fatalf("n = %d, want 2 (replace must not grow)", ws.n)
+	}
+}
+
+func TestWriteSetResetClears(t *testing.T) {
+	ws := newTestWS(64)
+	ws.reset()
+	ws.addOrReplace(1, 10)
+	ws.reset()
+	if _, ok := ws.lookup(1); ok {
+		t.Fatal("entry survived reset")
+	}
+	if ws.n != 0 {
+		t.Fatalf("n = %d after reset", ws.n)
+	}
+}
+
+func TestWriteSetHashTransition(t *testing.T) {
+	ws := newTestWS(1024)
+	ws.reset()
+	n := linearMax * 4
+	for i := 0; i < n; i++ {
+		ws.addOrReplace(uint64(1000+i), uint64(i))
+	}
+	if !ws.hashed {
+		t.Fatal("write-set did not switch to hashed mode")
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := ws.lookup(uint64(1000 + i)); !ok || v != uint64(i) {
+			t.Fatalf("lookup(%d) = %d,%v", 1000+i, v, ok)
+		}
+	}
+	// Replacement in hashed mode.
+	ws.addOrReplace(1000, 999)
+	if v, _ := ws.lookup(1000); v != 999 {
+		t.Fatal("hashed replace failed")
+	}
+	if ws.n != n {
+		t.Fatalf("n = %d, want %d", ws.n, n)
+	}
+}
+
+func TestWriteSetReuseAcrossResets(t *testing.T) {
+	ws := newTestWS(256)
+	for round := 0; round < 10; round++ {
+		ws.reset()
+		for i := 0; i < linearMax*2; i++ {
+			ws.addOrReplace(uint64(i*3+round), uint64(round*1000+i))
+		}
+		for i := 0; i < linearMax*2; i++ {
+			if v, ok := ws.lookup(uint64(i*3 + round)); !ok || v != uint64(round*1000+i) {
+				t.Fatalf("round %d: lookup(%d) = %d,%v", round, i*3+round, v, ok)
+			}
+		}
+		if _, ok := ws.lookup(uint64(linearMax*2*3 + round + 3)); ok {
+			t.Fatalf("round %d: phantom entry", round)
+		}
+	}
+}
+
+func TestWriteSetOverflowPanics(t *testing.T) {
+	ws := newTestWS(8)
+	ws.reset()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflow did not panic")
+		}
+	}()
+	for i := 0; i < 9; i++ {
+		ws.addOrReplace(uint64(i), 0)
+	}
+}
+
+// TestQuickWriteSetMatchesMap property: a writeSet behaves exactly like a
+// map under any sequence of addOrReplace, across both lookup regimes.
+func TestQuickWriteSetMatchesMap(t *testing.T) {
+	f := func(keys []uint16, vals []uint64) bool {
+		ws := newTestWS(1 << 12)
+		ws.reset()
+		model := map[uint64]uint64{}
+		for i, k := range keys {
+			addr := uint64(k%200 + 1) // collide often
+			var v uint64
+			if i < len(vals) {
+				v = vals[i]
+			}
+			ws.addOrReplace(addr, v)
+			model[addr] = v
+		}
+		if ws.n != len(model) {
+			return false
+		}
+		for addr, want := range model {
+			if got, ok := ws.lookup(addr); !ok || got != want {
+				return false
+			}
+		}
+		_, miss := ws.lookup(5000)
+		return !miss
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+// Package dcas emulates the double-word compare-and-swap (CMPXCHG16B) that
+// the OneFile algorithm performs on its two-word TMType {value, sequence}.
+//
+// Go exposes no 128-bit atomic, so a TM word is represented as an
+// atomic.Pointer to an immutable Pair. Swinging the pointer with a
+// single-word CAS changes value and sequence together with exactly the
+// atomicity of a hardware DCAS, and a reader obtains an un-torn snapshot of
+// both words by loading one pointer. ABA freedom still rests on the
+// algorithm's monotonically increasing sequence — pointer identity merely
+// adds a second, independent guard (two distinct Pair allocations never
+// compare equal even if they hold the same numbers).
+package dcas
+
+import "sync/atomic"
+
+// Pair is an immutable {value, sequence} snapshot of a TM word. Pairs must
+// never be mutated after publication; CompareAndSwap installs fresh ones.
+type Pair struct {
+	Val uint64
+	Seq uint64
+}
+
+var zeroPair = &Pair{}
+
+// Word is one TM word: the paper's TMType. The zero value is a word holding
+// value 0 at sequence 0.
+type Word struct {
+	p atomic.Pointer[Pair]
+}
+
+// Snapshot returns the current {value, sequence} pair. The returned pointer
+// is immutable and safe to retain.
+func (w *Word) Snapshot() *Pair {
+	if p := w.p.Load(); p != nil {
+		return p
+	}
+	return zeroPair
+}
+
+// Load returns the current value and sequence.
+func (w *Word) Load() (val, seq uint64) {
+	p := w.Snapshot()
+	return p.Val, p.Seq
+}
+
+// Seq returns the current sequence only.
+func (w *Word) Seq() uint64 {
+	return w.Snapshot().Seq
+}
+
+// CompareAndSwap atomically replaces the word's pair with {val, seq} if the
+// current pair is exactly old (pointer identity). It reports whether the
+// swap happened. This is the DCAS of Alg. 1 line 14.
+func (w *Word) CompareAndSwap(old *Pair, val, seq uint64) bool {
+	n := &Pair{Val: val, Seq: seq}
+	if old == zeroPair {
+		// The word may still hold a nil pointer (never written) or an
+		// explicit zero pair installed by Reset; both denote {0,0}.
+		if w.p.CompareAndSwap(nil, n) {
+			return true
+		}
+		cur := w.p.Load()
+		return cur != nil && *cur == Pair{} && w.p.CompareAndSwap(cur, n)
+	}
+	return w.p.CompareAndSwap(old, n)
+}
+
+// Store unconditionally publishes {val, seq}. It is only used during
+// single-threaded initialisation and crash recovery, never during normal
+// concurrent operation.
+func (w *Word) Store(val, seq uint64) {
+	w.p.Store(&Pair{Val: val, Seq: seq})
+}
+
+// Reset returns the word to {0, 0}. Initialisation/recovery only.
+func (w *Word) Reset() {
+	w.p.Store(zeroPair)
+}

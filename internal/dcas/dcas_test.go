@@ -1,0 +1,142 @@
+package dcas
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueWord(t *testing.T) {
+	var w Word
+	if v, s := w.Load(); v != 0 || s != 0 {
+		t.Fatalf("zero word = (%d,%d), want (0,0)", v, s)
+	}
+	if w.Seq() != 0 {
+		t.Fatalf("zero word Seq = %d", w.Seq())
+	}
+}
+
+func TestCASFromZero(t *testing.T) {
+	var w Word
+	p := w.Snapshot()
+	if !w.CompareAndSwap(p, 5, 1) {
+		t.Fatal("CAS from zero snapshot failed")
+	}
+	if v, s := w.Load(); v != 5 || s != 1 {
+		t.Fatalf("word = (%d,%d), want (5,1)", v, s)
+	}
+}
+
+func TestCASFromResetZero(t *testing.T) {
+	var w Word
+	w.Store(9, 9)
+	w.Reset()
+	p := w.Snapshot()
+	if p.Val != 0 || p.Seq != 0 {
+		t.Fatalf("reset snapshot = %+v", p)
+	}
+	if !w.CompareAndSwap(p, 3, 1) {
+		t.Fatal("CAS from reset zero failed")
+	}
+}
+
+func TestStaleSnapshotFails(t *testing.T) {
+	var w Word
+	p0 := w.Snapshot()
+	if !w.CompareAndSwap(p0, 1, 1) {
+		t.Fatal("first CAS failed")
+	}
+	if w.CompareAndSwap(p0, 2, 2) {
+		t.Fatal("CAS with stale snapshot succeeded")
+	}
+	if v, s := w.Load(); v != 1 || s != 1 {
+		t.Fatalf("word corrupted to (%d,%d)", v, s)
+	}
+}
+
+// TestABAImmunity: even when the same numeric value is reinstalled, an old
+// snapshot never matches — the failure mode MCAS algorithms steal bits for.
+func TestABAImmunity(t *testing.T) {
+	var w Word
+	a := w.Snapshot()
+	w.CompareAndSwap(a, 1, 1)
+	b := w.Snapshot()
+	w.CompareAndSwap(b, 0, 2) // back to value 0, newer seq
+	if w.CompareAndSwap(a, 99, 3) {
+		t.Fatal("stale snapshot matched after ABA")
+	}
+	if v, _ := w.Load(); v != 0 {
+		t.Fatalf("value corrupted: %d", v)
+	}
+}
+
+// TestAtomicSnapshot hammers a word from writers installing pairs with
+// val == seq*10 and checks readers never see a torn combination.
+func TestAtomicSnapshot(t *testing.T) {
+	var w Word
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := w.Snapshot()
+				w.CompareAndSwap(p, (p.Seq+1)*10, p.Seq+1)
+			}
+		}()
+	}
+	for i := 0; i < 100000; i++ {
+		v, s := w.Load()
+		if v != s*10 {
+			t.Fatalf("torn read: val=%d seq=%d", v, s)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSeqMonotonicUnderContention: concurrent seq-guarded updates (the way
+// OneFile's apply phase uses DCAS) never decrease the sequence.
+func TestSeqMonotonicUnderContention(t *testing.T) {
+	var w Word
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := uint64(1); i <= 1000; i++ {
+				for {
+					p := w.Snapshot()
+					if p.Seq >= i {
+						break
+					}
+					if w.CompareAndSwap(p, i, i) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if _, s := w.Load(); s != 1000 {
+		t.Fatalf("final seq = %d, want 1000", s)
+	}
+}
+
+func TestQuickStoreLoad(t *testing.T) {
+	f := func(v, s uint64) bool {
+		var w Word
+		w.Store(v, s)
+		gv, gs := w.Load()
+		return gv == v && gs == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+package he
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRetireWithoutReadersReclaims(t *testing.T) {
+	e := New(4)
+	freed := 0
+	e.Retire(0, 1, 2, func() { freed++ })
+	e.Scan(0)
+	if freed != 1 {
+		t.Fatalf("freed = %d, want 1", freed)
+	}
+	if e.Reclaimed() != 1 {
+		t.Fatalf("Reclaimed = %d", e.Reclaimed())
+	}
+}
+
+func TestProtectedEraBlocksReclaim(t *testing.T) {
+	e := New(4)
+	freed := 0
+	e.Protect(1, 5)
+	e.Retire(0, 3, 7, func() { freed++ }) // alive during era 5
+	e.Scan(0)
+	if freed != 0 {
+		t.Fatal("object reclaimed while a reader announced an overlapping era")
+	}
+	e.Clear(1)
+	e.Scan(0)
+	if freed != 1 {
+		t.Fatal("object not reclaimed after reader cleared")
+	}
+}
+
+func TestNonOverlappingEraDoesNotBlock(t *testing.T) {
+	e := New(4)
+	freed := 0
+	e.Protect(1, 10) // reader in era 10
+	e.Retire(0, 3, 7, func() { freed++ })
+	e.Scan(0)
+	if freed != 1 {
+		t.Fatal("non-overlapping era blocked reclamation")
+	}
+	e.Clear(1)
+}
+
+func TestBoundaryErasBlock(t *testing.T) {
+	e := New(4)
+	for _, era := range []uint64{3, 7} { // inclusive bounds
+		freed := 0
+		e.Protect(1, era)
+		e.Retire(0, 3, 7, func() { freed++ })
+		e.Scan(0)
+		if freed != 0 {
+			t.Fatalf("era %d (boundary) did not block reclamation", era)
+		}
+		e.Clear(1)
+		e.Scan(0)
+	}
+}
+
+func TestAutomaticScanAtThreshold(t *testing.T) {
+	e := New(2)
+	var freed atomic.Uint64
+	for i := 0; i < reclaimThreshold; i++ {
+		e.Retire(0, 1, 1, func() { freed.Add(1) })
+	}
+	if freed.Load() == 0 {
+		t.Fatal("threshold retire did not trigger a scan")
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	e := New(1)
+	e1 := e.Era()
+	if e.Advance() != e1+1 {
+		t.Fatal("Advance did not tick")
+	}
+}
+
+// TestConcurrentProtocol stresses the protocol: readers protect the current
+// era and then verify every object they can reach is unpoisoned; a writer
+// retires objects continuously. Any use-after-reclaim manifests as a
+// poisoned read.
+func TestConcurrentProtocol(t *testing.T) {
+	const readers = 4
+	e := New(readers + 1)
+	type obj struct {
+		birth    uint64
+		poisoned atomic.Bool
+	}
+	var cur atomic.Pointer[obj]
+	first := &obj{birth: e.Era()}
+	cur.Store(first)
+	stop := make(chan struct{})
+	var violations atomic.Uint64
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// HE read protocol: announce, re-read until stable.
+				var o *obj
+				for {
+					era := e.Era()
+					e.Protect(slot, era)
+					o = cur.Load()
+					if o.birth <= era && e.Era() == era {
+						break
+					}
+				}
+				if o.poisoned.Load() {
+					violations.Add(1)
+				}
+				e.Clear(slot)
+			}
+		}(r)
+	}
+	writer := readers
+	for i := 0; i < 3000; i++ {
+		o := cur.Load()
+		n := &obj{birth: e.Advance()}
+		cur.Store(n)
+		retireEra := e.Era()
+		e.Retire(writer, o.birth, retireEra, func() { o.poisoned.Store(true) })
+	}
+	close(stop)
+	wg.Wait()
+	if violations.Load() != 0 {
+		t.Fatalf("%d hazard-era violations (use-after-reclaim)", violations.Load())
+	}
+}

@@ -1,0 +1,104 @@
+// Package hp implements classic hazard pointers (Michael, 2004), the
+// memory-reclamation scheme the paper pairs with the hand-made lock-free
+// queues in its volatile evaluation (§V-A).
+//
+// As with package he, Go's garbage collector already prevents physical
+// use-after-free; the free callbacks here poison a flag instead of freeing,
+// which converts protocol violations into detectable test failures while
+// keeping the retire/scan traffic — the part that costs performance —
+// faithful.
+package hp
+
+import "sync/atomic"
+
+// K is the number of hazard pointers per thread slot; two suffice for the
+// Michael–Scott queue and list traversals.
+const K = 3
+
+const scanThreshold = 64
+
+type retired[T any] struct {
+	ptr  *T
+	free func()
+}
+
+type slot[T any] struct {
+	hp [K]atomic.Pointer[T]
+	_  [8]uint64 // keep slots on separate cache lines
+}
+
+// Domain is a hazard-pointer domain for values of type *T shared by a fixed
+// number of thread slots.
+type Domain[T any] struct {
+	slots     []slot[T]
+	retiredBy [][]retired[T]
+	reclaimed atomic.Uint64
+}
+
+// New creates a domain with n thread slots.
+func New[T any](n int) *Domain[T] {
+	return &Domain[T]{
+		slots:     make([]slot[T], n),
+		retiredBy: make([][]retired[T], n),
+	}
+}
+
+// Protect publishes src's current value as hazard pointer idx of tid and
+// returns a value that is safe to dereference: it re-reads src until the
+// announcement is stable.
+func (d *Domain[T]) Protect(tid, idx int, src *atomic.Pointer[T]) *T {
+	for {
+		p := src.Load()
+		d.slots[tid].hp[idx].Store(p)
+		if src.Load() == p {
+			return p
+		}
+	}
+}
+
+// Set publishes p directly (when the caller has already validated it).
+func (d *Domain[T]) Set(tid, idx int, p *T) { d.slots[tid].hp[idx].Store(p) }
+
+// Clear withdraws all announcements of tid.
+func (d *Domain[T]) Clear(tid int) {
+	for i := range d.slots[tid].hp {
+		d.slots[tid].hp[i].Store(nil)
+	}
+}
+
+// Retire hands p to the domain; free runs once no thread announces p.
+func (d *Domain[T]) Retire(tid int, p *T, free func()) {
+	d.retiredBy[tid] = append(d.retiredBy[tid], retired[T]{ptr: p, free: free})
+	if len(d.retiredBy[tid]) >= scanThreshold {
+		d.Scan(tid)
+	}
+}
+
+// Scan reclaims every retired pointer of tid not currently announced.
+func (d *Domain[T]) Scan(tid int) {
+	announced := make(map[*T]struct{}, len(d.slots)*K)
+	for i := range d.slots {
+		for j := 0; j < K; j++ {
+			if p := d.slots[i].hp[j].Load(); p != nil {
+				announced[p] = struct{}{}
+			}
+		}
+	}
+	list := d.retiredBy[tid]
+	kept := list[:0]
+	for _, r := range list {
+		if _, hazard := announced[r.ptr]; hazard {
+			kept = append(kept, r)
+			continue
+		}
+		r.free()
+		d.reclaimed.Add(1)
+	}
+	for i := len(kept); i < len(list); i++ {
+		list[i] = retired[T]{}
+	}
+	d.retiredBy[tid] = kept
+}
+
+// Reclaimed returns the number of reclaimed objects (test aid).
+func (d *Domain[T]) Reclaimed() uint64 { return d.reclaimed.Load() }

@@ -1,0 +1,135 @@
+package hp
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+type node struct {
+	v        int
+	poisoned atomic.Bool
+}
+
+func TestRetireWithoutHazardReclaims(t *testing.T) {
+	d := New[node](2)
+	n := &node{v: 1}
+	freed := false
+	d.Retire(0, n, func() { freed = true })
+	d.Scan(0)
+	if !freed {
+		t.Fatal("unprotected node not reclaimed")
+	}
+	if d.Reclaimed() != 1 {
+		t.Fatalf("Reclaimed = %d", d.Reclaimed())
+	}
+}
+
+func TestHazardBlocksReclaim(t *testing.T) {
+	d := New[node](2)
+	n := &node{v: 1}
+	var src atomic.Pointer[node]
+	src.Store(n)
+	got := d.Protect(1, 0, &src)
+	if got != n {
+		t.Fatal("Protect returned wrong pointer")
+	}
+	freed := false
+	d.Retire(0, n, func() { freed = true })
+	d.Scan(0)
+	if freed {
+		t.Fatal("node reclaimed while protected")
+	}
+	d.Clear(1)
+	d.Scan(0)
+	if !freed {
+		t.Fatal("node not reclaimed after clear")
+	}
+}
+
+func TestProtectReReadsUntilStable(t *testing.T) {
+	d := New[node](1)
+	a, b := &node{v: 1}, &node{v: 2}
+	var src atomic.Pointer[node]
+	src.Store(a)
+	// Simulate a concurrent swing by swapping in another goroutine while
+	// protecting repeatedly; Protect must always return the value that is
+	// announced.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				src.Store(a)
+			} else {
+				src.Store(b)
+			}
+		}
+	}()
+	for i := 0; i < 10000; i++ {
+		p := d.Protect(0, 0, &src)
+		if p != a && p != b {
+			t.Fatal("Protect returned garbage")
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestAutomaticScan(t *testing.T) {
+	d := New[node](1)
+	var freed atomic.Int64
+	for i := 0; i < scanThreshold; i++ {
+		d.Retire(0, &node{v: i}, func() { freed.Add(1) })
+	}
+	if freed.Load() == 0 {
+		t.Fatal("threshold did not trigger a scan")
+	}
+}
+
+// TestConcurrentProtocol: readers protect and check for poison, a writer
+// retires; poison observed while protected = protocol violation.
+func TestConcurrentProtocol(t *testing.T) {
+	const readers = 4
+	d := New[node](readers + 1)
+	var cur atomic.Pointer[node]
+	cur.Store(&node{})
+	var violations atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := d.Protect(slot, 0, &cur)
+				if n.poisoned.Load() {
+					violations.Add(1)
+				}
+				d.Clear(slot)
+			}
+		}(r)
+	}
+	for i := 0; i < 5000; i++ {
+		old := cur.Load()
+		cur.Store(&node{v: i})
+		d.Retire(readers, old, func() { old.poisoned.Store(true) })
+	}
+	close(stop)
+	wg.Wait()
+	if violations.Load() != 0 {
+		t.Fatalf("%d hazard-pointer violations", violations.Load())
+	}
+}

@@ -1,0 +1,132 @@
+package lockfree
+
+import (
+	"onefile/internal/pmem"
+)
+
+// FHMP is the persistent lock-free queue of Friedman, Herlihy, Marathe and
+// Petrank (PPoPP 2018), the only hand-made lock-free NVM structure the
+// paper compares against (Fig. 12, left). It is a Michael–Scott queue laid
+// out in the emulated NVM device, with the durability points of the
+// original: a node is persisted before it is linked, the link is persisted
+// before the tail moves, and the new head is persisted before a dequeue
+// returns.
+//
+// As in the paper's evaluation, the queue has *no* memory reclamation and
+// uses a volatile bump allocator (the original relies on the system
+// allocator, which neither persists nor reclaims) — which is exactly the
+// deficit relative to OneFile-PTM that the figure illustrates: pwbs and
+// fences related to allocation are absent, and memory is never reused.
+//
+// Device layout: word 0 = head, 1 = tail, 2 = bump; nodes are two raw words
+// (value, next), addressed by word offset; offset 0 doubles as nil.
+type FHMP struct {
+	dev *pmem.Device
+}
+
+const (
+	fhHead = 0
+	fhTail = 1
+	fhBump = 2
+	fhBase = pmem.LineWords // first allocatable word
+)
+
+// NewFHMP creates a queue on dev (which must be freshly formatted).
+func NewFHMP(dev *pmem.Device) *FHMP {
+	q := &FHMP{dev: dev}
+	// Sentinel node.
+	s := q.alloc()
+	dev.RawStore(fhHead, uint64(s))
+	dev.RawStore(fhTail, uint64(s))
+	dev.Flush(0, fhHead, 3)
+	dev.Fence(0)
+	return q
+}
+
+// AttachFHMP re-attaches to a crashed device and runs the (trivial)
+// recovery: complete a half-linked tail.
+func AttachFHMP(dev *pmem.Device) *FHMP {
+	q := &FHMP{dev: dev}
+	tail := dev.RawLoad(fhTail)
+	if next := dev.RawLoad(int(tail) + 1); next != 0 {
+		dev.RawStore(fhTail, next)
+		dev.Flush(0, fhTail, 1)
+		dev.Fence(0)
+	}
+	return q
+}
+
+// alloc returns a fresh two-word node (volatile bump pointer, as the
+// original's transient allocator).
+func (q *FHMP) alloc() int {
+	return int(q.dev.RawAdd(fhBump, 2)) - 2 + fhBase
+}
+
+// Name identifies the structure in benchmark output.
+func (q *FHMP) Name() string { return "FHMP" }
+
+// Enqueue appends v with durable linearizability. tid selects the flush
+// slot.
+func (q *FHMP) Enqueue(v uint64, tid int) {
+	n := q.alloc()
+	q.dev.RawStore(n, v)
+	q.dev.RawStore(n+1, 0)
+	q.dev.Flush(tid, n, 2)
+	q.dev.Fence(tid) // node durable before it becomes reachable
+	for {
+		last := int(q.dev.RawLoad(fhTail))
+		next := q.dev.RawLoad(last + 1)
+		if last != int(q.dev.RawLoad(fhTail)) {
+			continue
+		}
+		if next != 0 {
+			// Help: persist the link, then advance the tail.
+			q.dev.Flush(tid, last+1, 1)
+			q.dev.Drain(tid)
+			q.dev.RawCAS(fhTail, uint64(last), next)
+			continue
+		}
+		if q.dev.RawCAS(last+1, 0, uint64(n)) {
+			q.dev.Flush(tid, last+1, 1)
+			q.dev.Drain(tid) // link durable before the tail moves
+			q.dev.RawCAS(fhTail, uint64(last), uint64(n))
+			return
+		}
+	}
+}
+
+// Dequeue removes the oldest value with durable linearizability.
+func (q *FHMP) Dequeue(tid int) (uint64, bool) {
+	for {
+		first := int(q.dev.RawLoad(fhHead))
+		last := int(q.dev.RawLoad(fhTail))
+		next := q.dev.RawLoad(first + 1)
+		if first != int(q.dev.RawLoad(fhHead)) {
+			continue
+		}
+		if next == 0 {
+			return 0, false
+		}
+		if first == last {
+			q.dev.Flush(tid, last+1, 1)
+			q.dev.Drain(tid)
+			q.dev.RawCAS(fhTail, uint64(last), next)
+			continue
+		}
+		v := q.dev.RawLoad(int(next))
+		if q.dev.RawCAS(fhHead, uint64(first), next) {
+			q.dev.Flush(tid, fhHead, 1)
+			q.dev.Fence(tid) // head durable before the value is returned
+			return v, true
+		}
+	}
+}
+
+// Len counts the queue (quiescent use only; test aid).
+func (q *FHMP) Len() int {
+	n := 0
+	for p := q.dev.RawLoad(int(q.dev.RawLoad(fhHead)) + 1); p != 0; p = q.dev.RawLoad(int(p) + 1) {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,208 @@
+package lockfree
+
+import (
+	"sync/atomic"
+
+	"onefile/internal/he"
+)
+
+// HarrisSet is the Michael (2002) hash-list building block / Harris (2001)
+// lock-free sorted linked-list set, the hand-made baseline of the paper's
+// Fig. 5, with hazard-era reclamation ("Harris with HE").
+//
+// A node's link is an immutable (next, marked) record swapped by CAS; a
+// marked link is a logically deleted node, physically unlinked by the next
+// traversal that passes it.
+//
+// Era protocol: an operation announces the current era once and traverses
+// freely while the era does not move — every node it can reach was alive
+// during the announced era (inserts do not advance the era; retires do,
+// after unlinking) and is therefore protected. If the era moves mid-
+// traversal the operation restarts from the head under a fresh
+// announcement, never dereferencing a node discovered under an older one.
+// Era advances are batched (one per eraBatch retires) to keep restarts
+// rare.
+type HarrisSet struct {
+	head    atomic.Pointer[hsLink] // link to the first node
+	dom     *he.Eras
+	size    atomic.Int64
+	retires atomic.Uint64
+	bad     atomic.Uint64
+}
+
+const eraBatch = 16
+
+type hsNode struct {
+	key      uint64
+	next     atomic.Pointer[hsLink]
+	birth    uint64
+	poisoned atomic.Bool
+}
+
+// hsLink is an immutable (target, marked) pair; marked means the node
+// OWNING this link is logically deleted.
+type hsLink struct {
+	node   *hsNode
+	marked bool
+}
+
+var emptyLink = &hsLink{}
+
+// NewHarrisSet creates a set usable by maxThreads thread slots.
+func NewHarrisSet(maxThreads int) *HarrisSet {
+	s := &HarrisSet{dom: he.New(maxThreads)}
+	s.head.Store(emptyLink)
+	return s
+}
+
+// Name identifies the structure in benchmark output.
+func (s *HarrisSet) Name() string { return "Harris-HE" }
+
+func (s *HarrisSet) check(n *hsNode) {
+	if n != nil && n.poisoned.Load() {
+		s.bad.Add(1)
+	}
+}
+
+// protect announces the current era, stably, and returns it.
+func (s *HarrisSet) protect(tid int) uint64 {
+	for {
+		e := s.dom.Era()
+		s.dom.Protect(tid, e)
+		if s.dom.Era() == e {
+			return e
+		}
+	}
+}
+
+// retireNode hands an unlinked node to the domain and advances the era
+// every eraBatch retires.
+func (s *HarrisSet) retireNode(tid int, n *hsNode) {
+	retireEra := s.dom.Era()
+	s.dom.Retire(tid, n.birth, retireEra, func() { n.poisoned.Store(true) })
+	if s.retires.Add(1)%eraBatch == 0 {
+		s.dom.Advance()
+	}
+}
+
+func load(src *atomic.Pointer[hsLink]) *hsLink {
+	if l := src.Load(); l != nil {
+		return l
+	}
+	return emptyLink
+}
+
+// findFrom locates the first unmarked node with key >= k under era e,
+// snipping marked nodes on the way. ok is false if the era moved and the
+// caller must re-protect and retry.
+func (s *HarrisSet) findFrom(tid int, e, k uint64) (prev *atomic.Pointer[hsLink], prevVal *hsLink, cur *hsNode, ok bool) {
+retry:
+	if s.dom.Era() != e {
+		return nil, nil, nil, false
+	}
+	prev = &s.head
+	prevVal = load(prev)
+	cur = prevVal.node
+	for cur != nil {
+		if s.dom.Era() != e {
+			return nil, nil, nil, false
+		}
+		s.check(cur)
+		curLink := load(&cur.next)
+		if curLink.marked {
+			// cur is logically deleted: unlink it.
+			repl := &hsLink{node: curLink.node}
+			if !prev.CompareAndSwap(prevVal, repl) {
+				goto retry
+			}
+			s.retireNode(tid, cur)
+			prevVal = repl
+			cur = repl.node
+			continue
+		}
+		if cur.key >= k {
+			return prev, prevVal, cur, true
+		}
+		prev = &cur.next
+		prevVal = curLink
+		cur = prevVal.node
+	}
+	return prev, prevVal, nil, true
+}
+
+// Add inserts k; it reports whether the set changed.
+func (s *HarrisSet) Add(k uint64, tid int) bool {
+	defer s.dom.Clear(tid)
+	for {
+		e := s.protect(tid)
+		prev, prevVal, cur, ok := s.findFrom(tid, e, k)
+		if !ok {
+			continue
+		}
+		if cur != nil && cur.key == k {
+			return false
+		}
+		n := &hsNode{key: k, birth: s.dom.Era()}
+		n.next.Store(&hsLink{node: cur})
+		if prev.CompareAndSwap(prevVal, &hsLink{node: n}) {
+			s.size.Add(1)
+			return true
+		}
+	}
+}
+
+// Remove deletes k; it reports whether the set changed.
+func (s *HarrisSet) Remove(k uint64, tid int) bool {
+	defer s.dom.Clear(tid)
+	for {
+		e := s.protect(tid)
+		prev, prevVal, cur, ok := s.findFrom(tid, e, k)
+		if !ok {
+			continue
+		}
+		if cur == nil || cur.key != k {
+			return false
+		}
+		curLink := load(&cur.next)
+		if curLink.marked {
+			continue
+		}
+		// Logical delete: mark cur's link.
+		if !cur.next.CompareAndSwap(curLink, &hsLink{node: curLink.node, marked: true}) {
+			continue
+		}
+		s.size.Add(-1)
+		// Physical delete (best effort; traversals finish it otherwise).
+		if prev.CompareAndSwap(prevVal, &hsLink{node: curLink.node}) {
+			s.retireNode(tid, cur)
+		}
+		return true
+	}
+}
+
+// Contains reports whether k is in the set (no snipping; restarts only if
+// the era moves).
+func (s *HarrisSet) Contains(k uint64, tid int) bool {
+	defer s.dom.Clear(tid)
+restart:
+	e := s.protect(tid)
+	link := load(&s.head)
+	for n := link.node; n != nil; {
+		if s.dom.Era() != e {
+			goto restart
+		}
+		s.check(n)
+		nl := load(&n.next)
+		if n.key >= k {
+			return n.key == k && !nl.marked
+		}
+		n = nl.node
+	}
+	return false
+}
+
+// Len returns the approximate size (exact when quiescent).
+func (s *HarrisSet) Len() int { return int(s.size.Load()) }
+
+// Violations returns reclaimed-node dereferences (must be zero).
+func (s *HarrisSet) Violations() uint64 { return s.bad.Load() }

@@ -1,0 +1,173 @@
+package lockfree
+
+import (
+	"sync/atomic"
+
+	"onefile/internal/dcas"
+	"onefile/internal/hp"
+)
+
+// LCRQ is a linked list of circular ring queues in the spirit of Morrison &
+// Afek's LCRQ (PPoPP 2013). Each ring cell is a two-word (turn, value)
+// record mutated with the DCAS emulation of package dcas — the same
+// substitution OneFile itself uses for CMPXCHG16B, so the comparison stays
+// apples-to-apples. Enqueuers and dequeuers claim positions with
+// fetch-and-add; when a ring is closed (full or starved), a new ring
+// segment is appended.
+type LCRQ struct {
+	head atomic.Pointer[crq]
+	tail atomic.Pointer[crq]
+	dom  *hp.Domain[crq]
+	bad  atomic.Uint64
+}
+
+var _ Queue = (*LCRQ)(nil)
+
+const (
+	crqSize   = 1024
+	crqClosed = uint64(1) << 63
+)
+
+// crq is one circular ring. cells[i] holds {Val: v+1, Seq: turn}: a cell is
+// ready for enqueue at turn t when Seq == t and Val == 0, and ready for
+// dequeue when Seq == t+1 and Val != 0.
+type crq struct {
+	headIdx  atomic.Uint64
+	tailIdx  atomic.Uint64 // bit 63 = closed
+	cells    [crqSize]dcas.Word
+	next     atomic.Pointer[crq]
+	poisoned atomic.Bool
+}
+
+func newCRQ() *crq {
+	q := &crq{}
+	for i := range q.cells {
+		q.cells[i].Store(0, uint64(i)) // cell i first serves turn i
+	}
+	return q
+}
+
+// NewLCRQ creates a queue usable by maxThreads thread slots.
+func NewLCRQ(maxThreads int) *LCRQ {
+	q := &LCRQ{dom: hp.New[crq](maxThreads)}
+	r := newCRQ()
+	q.head.Store(r)
+	q.tail.Store(r)
+	return q
+}
+
+// Name implements Queue.
+func (q *LCRQ) Name() string { return "LCRQ" }
+
+// enqueue attempts to enqueue into ring r; false means the ring is closed.
+func (r *crq) enqueue(v uint64) bool {
+	for {
+		t := r.tailIdx.Add(1) - 1
+		if t&crqClosed != 0 {
+			return false
+		}
+		c := &r.cells[t%crqSize]
+		p := c.Snapshot()
+		if p.Seq == t && p.Val == 0 {
+			if c.CompareAndSwap(p, v+1, t) { // value arrives for turn t
+				return true
+			}
+		}
+		// The cell is still occupied by an older turn or was burned by a
+		// dequeuer: close the ring once the position runs far ahead.
+		if t >= r.headIdx.Load()+crqSize {
+			r.tailIdx.Or(crqClosed)
+			return false
+		}
+	}
+}
+
+// dequeue attempts to dequeue from ring r; ok=false with closed=false means
+// currently empty.
+func (r *crq) dequeue() (v uint64, ok bool) {
+	for {
+		h := r.headIdx.Load()
+		t := r.tailIdx.Load() &^ crqClosed
+		if h >= t {
+			return 0, false
+		}
+		if !r.headIdx.CompareAndSwap(h, h+1) {
+			continue
+		}
+		c := &r.cells[h%crqSize]
+		for {
+			p := c.Snapshot()
+			if p.Seq == h && p.Val != 0 {
+				// Value present for our turn: take it, advance the cell
+				// to serve turn h+crqSize.
+				if c.CompareAndSwap(p, 0, h+crqSize) {
+					return p.Val - 1, true
+				}
+				continue
+			}
+			// The enqueuer for turn h has not landed yet: burn the turn by
+			// advancing the cell so that enqueuer fails its DCAS.
+			if p.Seq == h && p.Val == 0 {
+				if c.CompareAndSwap(p, 0, h+crqSize) {
+					break // turn burned; try the next head position
+				}
+				continue
+			}
+			// Cell already belongs to a later turn.
+			break
+		}
+	}
+}
+
+// Enqueue implements Queue.
+func (q *LCRQ) Enqueue(v uint64, tid int) {
+	for {
+		r := q.dom.Protect(tid, 0, &q.tail)
+		if r.poisoned.Load() {
+			q.bad.Add(1)
+		}
+		if next := r.next.Load(); next != nil {
+			q.tail.CompareAndSwap(r, next)
+			continue
+		}
+		if r.enqueue(v) {
+			q.dom.Clear(tid)
+			return
+		}
+		n := newCRQ()
+		n.tailIdx.Store(1)
+		n.cells[0].Store(v+1, 0)
+		if r.next.CompareAndSwap(nil, n) {
+			q.tail.CompareAndSwap(r, n)
+			q.dom.Clear(tid)
+			return
+		}
+	}
+}
+
+// Dequeue implements Queue.
+func (q *LCRQ) Dequeue(tid int) (uint64, bool) {
+	for {
+		r := q.dom.Protect(tid, 0, &q.head)
+		if r.poisoned.Load() {
+			q.bad.Add(1)
+		}
+		if v, ok := r.dequeue(); ok {
+			q.dom.Clear(tid)
+			return v, true
+		}
+		next := r.next.Load()
+		if next == nil {
+			q.dom.Clear(tid)
+			return 0, false
+		}
+		// Ring drained and a successor exists: retire it and move on.
+		if q.head.CompareAndSwap(r, next) {
+			rr := r
+			q.dom.Retire(tid, rr, func() { rr.poisoned.Store(true) })
+		}
+	}
+}
+
+// Violations returns reclaimed-ring dereferences (must be zero).
+func (q *LCRQ) Violations() uint64 { return q.bad.Load() }

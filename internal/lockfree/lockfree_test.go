@@ -1,0 +1,425 @@
+package lockfree
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"onefile/internal/pmem"
+)
+
+const testThreads = 8
+
+func queues() map[string]Queue {
+	return map[string]Queue{
+		"ms":   NewMSQueue(testThreads),
+		"faa":  NewFAAQueue(testThreads),
+		"lcrq": NewLCRQ(testThreads),
+		"wf":   NewWFQueue(testThreads),
+	}
+}
+
+func TestQueueSequentialFIFO(t *testing.T) {
+	for name, q := range queues() {
+		t.Run(name, func(t *testing.T) {
+			if _, ok := q.Dequeue(0); ok {
+				t.Fatal("dequeue on empty succeeded")
+			}
+			for i := uint64(1); i <= 2000; i++ {
+				q.Enqueue(i, 0)
+			}
+			for i := uint64(1); i <= 2000; i++ {
+				v, ok := q.Dequeue(0)
+				if !ok || v != i {
+					t.Fatalf("dequeue %d = (%d,%v)", i, v, ok)
+				}
+			}
+			if _, ok := q.Dequeue(0); ok {
+				t.Fatal("queue not empty at end")
+			}
+		})
+	}
+}
+
+// TestQueueConcurrent checks conservation (every enqueued item dequeued
+// exactly once) and per-producer FIFO order under an MPMC load.
+func TestQueueConcurrent(t *testing.T) {
+	for name, q := range queues() {
+		t.Run(name, func(t *testing.T) {
+			const producers, consumers, per = 3, 3, 2000
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for i := uint64(0); i < per; i++ {
+						q.Enqueue(uint64(p)<<32|i, p)
+					}
+				}(p)
+			}
+			var mu sync.Mutex
+			byProducer := make([][]uint64, producers)
+			var cg sync.WaitGroup
+			for c := 0; c < consumers; c++ {
+				wg.Add(1) // ensure producers tracked separately
+				wg.Done()
+				cg.Add(1)
+				go func(c int) {
+					defer cg.Done()
+					local := make([][]uint64, producers)
+					empty := 0
+					for empty < 3000 {
+						v, ok := q.Dequeue(producers + c)
+						if !ok {
+							empty++
+							continue
+						}
+						empty = 0
+						local[v>>32] = append(local[v>>32], v&0xFFFFFFFF)
+					}
+					mu.Lock()
+					for p := range local {
+						byProducer[p] = append(byProducer[p], local[p]...)
+					}
+					mu.Unlock()
+				}(c)
+			}
+			wg.Wait()
+			cg.Wait()
+			for {
+				v, ok := q.Dequeue(0)
+				if !ok {
+					break
+				}
+				byProducer[v>>32] = append(byProducer[v>>32], v&0xFFFFFFFF)
+			}
+			total := 0
+			for p := 0; p < producers; p++ {
+				total += len(byProducer[p])
+				seen := make(map[uint64]bool, per)
+				for _, v := range byProducer[p] {
+					if seen[v] {
+						t.Fatalf("producer %d item %d dequeued twice", p, v)
+					}
+					seen[v] = true
+				}
+			}
+			if total != producers*per {
+				t.Fatalf("conservation: %d items out, want %d", total, producers*per)
+			}
+			if vq, ok := q.(interface{ Violations() uint64 }); ok && vq.Violations() != 0 {
+				t.Fatalf("%d reclamation violations", vq.Violations())
+			}
+		})
+	}
+}
+
+// TestQueueSingleConsumerOrder: with one consumer, per-producer order must
+// be strictly FIFO.
+func TestQueueSingleConsumerOrder(t *testing.T) {
+	for name, q := range queues() {
+		t.Run(name, func(t *testing.T) {
+			const producers, per = 4, 1500
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for i := uint64(0); i < per; i++ {
+						q.Enqueue(uint64(p)<<32|i, p)
+					}
+				}(p)
+			}
+			next := make([]uint64, producers)
+			got := 0
+			for got < producers*per {
+				v, ok := q.Dequeue(producers)
+				if !ok {
+					continue
+				}
+				p := v >> 32
+				if v&0xFFFFFFFF != next[p] {
+					t.Fatalf("producer %d: got %d, want %d", p, v&0xFFFFFFFF, next[p])
+				}
+				next[p]++
+				got++
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// --- sets (Harris list, Natarajan tree) ---
+
+type lfSet interface {
+	Add(k uint64, tid int) bool
+	Remove(k uint64, tid int) bool
+	Contains(k uint64, tid int) bool
+	Len() int
+	Violations() uint64
+}
+
+func sets() map[string]lfSet {
+	return map[string]lfSet{
+		"harris": NewHarrisSet(testThreads),
+		"nata":   NewNataTree(testThreads),
+	}
+}
+
+func TestSetSequentialSemantics(t *testing.T) {
+	for name, s := range sets() {
+		t.Run(name, func(t *testing.T) {
+			if s.Contains(5, 0) {
+				t.Fatal("empty set contains 5")
+			}
+			if !s.Add(5, 0) || s.Add(5, 0) {
+				t.Fatal("add semantics")
+			}
+			if !s.Contains(5, 0) || s.Contains(4, 0) {
+				t.Fatal("contains semantics")
+			}
+			if !s.Remove(5, 0) || s.Remove(5, 0) {
+				t.Fatal("remove semantics")
+			}
+			if s.Contains(5, 0) {
+				t.Fatal("removed key still present")
+			}
+			for k := uint64(0); k < 200; k++ {
+				if !s.Add(k*3, 0) {
+					t.Fatalf("add %d", k*3)
+				}
+			}
+			for k := uint64(0); k < 200; k++ {
+				if !s.Contains(k*3, 0) {
+					t.Fatalf("missing %d", k*3)
+				}
+				if s.Contains(k*3+1, 0) {
+					t.Fatalf("phantom %d", k*3+1)
+				}
+			}
+			if s.Len() != 200 {
+				t.Fatalf("Len = %d", s.Len())
+			}
+		})
+	}
+}
+
+func TestSetSequentialRandomModel(t *testing.T) {
+	for name, s := range sets() {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			model := map[uint64]bool{}
+			for i := 0; i < 20000; i++ {
+				k := uint64(rng.Intn(500))
+				switch rng.Intn(3) {
+				case 0:
+					if s.Add(k, 0) == model[k] {
+						t.Fatalf("step %d: Add(%d) disagrees", i, k)
+					}
+					model[k] = true
+				case 1:
+					if s.Remove(k, 0) != model[k] {
+						t.Fatalf("step %d: Remove(%d) disagrees", i, k)
+					}
+					delete(model, k)
+				default:
+					if s.Contains(k, 0) != model[k] {
+						t.Fatalf("step %d: Contains(%d) disagrees", i, k)
+					}
+				}
+			}
+			if s.Len() != len(model) {
+				t.Fatalf("Len = %d, model %d", s.Len(), len(model))
+			}
+		})
+	}
+}
+
+// TestSetConcurrentDisjoint: workers on disjoint key ranges; each worker's
+// view must match its own model exactly.
+func TestSetConcurrentDisjoint(t *testing.T) {
+	for name, s := range sets() {
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			errs := make(chan error, testThreads)
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(w)))
+					model := map[uint64]bool{}
+					base := uint64(w * 10000)
+					for i := 0; i < 4000; i++ {
+						k := base + uint64(rng.Intn(100))
+						switch rng.Intn(3) {
+						case 0:
+							if s.Add(k, w) == model[k] {
+								errs <- fmt.Errorf("w%d step %d: Add(%d) disagrees", w, i, k)
+								return
+							}
+							model[k] = true
+						case 1:
+							if s.Remove(k, w) != model[k] {
+								errs <- fmt.Errorf("w%d step %d: Remove(%d) disagrees", w, i, k)
+								return
+							}
+							delete(model, k)
+						default:
+							if s.Contains(k, w) != model[k] {
+								errs <- fmt.Errorf("w%d step %d: Contains(%d) disagrees", w, i, k)
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			if s.Violations() != 0 {
+				t.Fatalf("%d reclamation violations", s.Violations())
+			}
+		})
+	}
+}
+
+// TestSetConcurrentContended: all workers fight over the same small key
+// range; afterwards membership must be internally consistent (no key both
+// present and absent, add/remove return values must balance).
+func TestSetConcurrentContended(t *testing.T) {
+	for name, s := range sets() {
+		t.Run(name, func(t *testing.T) {
+			const keys = 32
+			var adds, removes [keys]int64
+			var mu sync.Mutex
+			var wg sync.WaitGroup
+			for w := 0; w < testThreads; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(w + 100)))
+					var la, lr [keys]int64
+					for i := 0; i < 3000; i++ {
+						k := uint64(rng.Intn(keys))
+						if rng.Intn(2) == 0 {
+							if s.Add(k, w) {
+								la[k]++
+							}
+						} else {
+							if s.Remove(k, w) {
+								lr[k]++
+							}
+						}
+					}
+					mu.Lock()
+					for k := 0; k < keys; k++ {
+						adds[k] += la[k]
+						removes[k] += lr[k]
+					}
+					mu.Unlock()
+				}(w)
+			}
+			wg.Wait()
+			for k := uint64(0); k < keys; k++ {
+				present := s.Contains(k, 0)
+				diff := adds[k] - removes[k]
+				if diff != 0 && diff != 1 {
+					t.Fatalf("key %d: %d successful adds vs %d removes", k, adds[k], removes[k])
+				}
+				if present != (diff == 1) {
+					t.Fatalf("key %d: present=%v but add-remove balance=%d", k, present, diff)
+				}
+			}
+			if s.Violations() != 0 {
+				t.Fatalf("%d reclamation violations", s.Violations())
+			}
+		})
+	}
+}
+
+// --- FHMP persistent queue ---
+
+func newFHMPDev(t *testing.T, mode pmem.Mode) *pmem.Device {
+	t.Helper()
+	dev, err := pmem.New(pmem.Config{RawWords: 1 << 20, Mode: mode, MaxSlots: testThreads + 1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+func TestFHMPSequential(t *testing.T) {
+	q := NewFHMP(newFHMPDev(t, pmem.StrictMode))
+	for i := uint64(1); i <= 500; i++ {
+		q.Enqueue(i, 0)
+	}
+	if q.Len() != 500 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for i := uint64(1); i <= 500; i++ {
+		v, ok := q.Dequeue(0)
+		if !ok || v != i {
+			t.Fatalf("dequeue = (%d,%v), want %d", v, ok, i)
+		}
+	}
+}
+
+func TestFHMPConcurrentConservation(t *testing.T) {
+	q := NewFHMP(newFHMPDev(t, pmem.StrictMode))
+	const workers, per = 4, 2000
+	var wg sync.WaitGroup
+	var dequeued sync.Map
+	var count int64
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := uint64(0); i < per; i++ {
+				q.Enqueue(uint64(w)<<32|i, w)
+				if v, ok := q.Dequeue(w); ok {
+					if _, dup := dequeued.LoadOrStore(v, true); dup {
+						t.Errorf("value %d dequeued twice", v)
+					}
+					mu.Lock()
+					count++
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	rest := 0
+	for {
+		if _, ok := q.Dequeue(0); !ok {
+			break
+		}
+		rest++
+	}
+	mu.Lock()
+	total := count + int64(rest)
+	mu.Unlock()
+	if total != workers*per {
+		t.Fatalf("conservation: %d out, want %d", total, workers*per)
+	}
+}
+
+// TestFHMPCrashDurability: acknowledged enqueues survive a crash.
+func TestFHMPCrashDurability(t *testing.T) {
+	dev := newFHMPDev(t, pmem.RelaxedMode)
+	q := NewFHMP(dev)
+	for i := uint64(1); i <= 100; i++ {
+		q.Enqueue(i, 0)
+	}
+	dev.Crash()
+	r := AttachFHMP(dev)
+	for i := uint64(1); i <= 100; i++ {
+		v, ok := r.Dequeue(0)
+		if !ok || v != i {
+			t.Fatalf("after crash: dequeue = (%d,%v), want %d", v, ok, i)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package lockfree
+
+import (
+	"sync/atomic"
+
+	"onefile/internal/he"
+)
+
+// NataTree is the Natarajan & Mittal lock-free external binary search tree
+// (PPoPP 2014) with hazard-era reclamation — "NataHE", the hand-made tree
+// baseline of the paper's Fig. 6. Keys live only in leaves; internal nodes
+// route. Deletion first *flags* the edge to the parent of the leaf being
+// removed (claiming the operation), then *tags* the sibling edge and
+// splices the parent out with a single CAS on the grandparent's edge.
+// Edges are immutable (child, flag, tag) records swapped by CAS, the same
+// technique the original uses with pointer-stolen bits.
+type NataTree struct {
+	root    *ntNode // sentinel structure, never removed
+	dom     *he.Eras
+	size    atomic.Int64
+	retires atomic.Uint64
+	bad     atomic.Uint64
+}
+
+// Sentinel keys: larger than any user key (user keys < 2^62).
+const (
+	ntInf0 = ^uint64(0) - 2
+	ntInf1 = ^uint64(0) - 1
+	ntInf2 = ^uint64(0)
+)
+
+type ntNode struct {
+	key      uint64
+	left     atomic.Pointer[ntEdge]
+	right    atomic.Pointer[ntEdge]
+	leaf     bool
+	birth    uint64
+	poisoned atomic.Bool
+}
+
+// ntEdge is an immutable (child, flag, tag) record. flag marks the edge to
+// a parent whose leaf child is being deleted; tag marks the sibling edge so
+// it cannot change while the parent is spliced out.
+type ntEdge struct {
+	child *ntNode
+	flag  bool
+	tag   bool
+}
+
+// NewNataTree creates a tree usable by maxThreads thread slots.
+func NewNataTree(maxThreads int) *NataTree {
+	// Standard sentinel scaffold: R(inf2) with children S(inf1) and
+	// leaf(inf2); S has children leaf(inf0) and leaf(inf1).
+	mkLeaf := func(k uint64) *ntNode { return &ntNode{key: k, leaf: true} }
+	s := &ntNode{key: ntInf1}
+	s.left.Store(&ntEdge{child: mkLeaf(ntInf0)})
+	s.right.Store(&ntEdge{child: mkLeaf(ntInf1)})
+	r := &ntNode{key: ntInf2}
+	r.left.Store(&ntEdge{child: s})
+	r.right.Store(&ntEdge{child: mkLeaf(ntInf2)})
+	return &NataTree{root: r, dom: he.New(maxThreads)}
+}
+
+// Name identifies the structure in benchmark output.
+func (t *NataTree) Name() string { return "NataHE" }
+
+func (t *NataTree) check(n *ntNode) {
+	if n != nil && n.poisoned.Load() {
+		t.bad.Add(1)
+	}
+}
+
+// seekRecord is the result of a traversal: ancestor → successor is the last
+// untagged edge on the path; parent → leaf is where the key belongs.
+type seekRecord struct {
+	ancestor  *ntNode
+	successor *ntNode
+	parent    *ntNode
+	leaf      *ntNode
+}
+
+func edgeOf(n *ntNode, k uint64) *atomic.Pointer[ntEdge] {
+	if k < n.key {
+		return &n.left
+	}
+	return &n.right
+}
+
+// seek walks from the root to the leaf where k belongs under era e,
+// maintaining the last untagged edge on the path as (ancestor → successor).
+// ok is false if the era moved mid-walk: every node discovered so far was
+// alive during e (and stays protected by the standing announcement), but a
+// node reached after an era advance might not be, so the caller must
+// re-announce and retry.
+func (t *NataTree) seek(e, k uint64) (rec seekRecord, ok bool) {
+	r := t.root
+	s := r.left.Load().child
+	rec = seekRecord{
+		ancestor:  r,
+		successor: s,
+		parent:    s,
+	}
+	parentEdge := s.left.Load() // edge from rec.parent to cur
+	cur := parentEdge.child
+	for cur != nil && !cur.leaf {
+		if t.dom.Era() != e {
+			return rec, false
+		}
+		t.check(cur)
+		if !parentEdge.tag {
+			rec.ancestor = rec.parent
+			rec.successor = cur
+		}
+		rec.parent = cur
+		parentEdge = edgeOf(cur, k).Load()
+		cur = parentEdge.child
+	}
+	if t.dom.Era() != e {
+		return rec, false
+	}
+	t.check(cur)
+	rec.leaf = cur
+	return rec, true
+}
+
+// protect announces the current era, stably, and returns it.
+func (t *NataTree) protect(tid int) uint64 {
+	for {
+		e := t.dom.Era()
+		t.dom.Protect(tid, e)
+		if t.dom.Era() == e {
+			return e
+		}
+	}
+}
+
+// retireNode hands an unlinked node to the domain, advancing the era every
+// eraBatch retires to keep reader restarts rare.
+func (t *NataTree) retireNode(tid int, n *ntNode) {
+	retireEra := t.dom.Era()
+	t.dom.Retire(tid, n.birth, retireEra, func() { n.poisoned.Store(true) })
+	if t.retires.Add(1)%eraBatch == 0 {
+		t.dom.Advance()
+	}
+}
+
+// Contains reports whether k is in the set.
+func (t *NataTree) Contains(k uint64, tid int) bool {
+	defer t.dom.Clear(tid)
+	for {
+		e := t.protect(tid)
+		rec, ok := t.seek(e, k)
+		if ok {
+			return rec.leaf != nil && rec.leaf.key == k
+		}
+	}
+}
+
+// Add inserts k; it reports whether the set changed.
+func (t *NataTree) Add(k uint64, tid int) bool {
+	defer t.dom.Clear(tid)
+	for {
+		e := t.protect(tid)
+		rec, ok := t.seek(e, k)
+		if !ok {
+			continue
+		}
+		leaf := rec.leaf
+		if leaf.key == k {
+			return false
+		}
+		parent := rec.parent
+		edge := edgeOf(parent, k)
+		cur := edge.Load()
+		if cur.child != leaf {
+			continue // path changed under us
+		}
+		if cur.flag || cur.tag {
+			t.cleanup(k, rec, tid)
+			continue
+		}
+		// Build the replacement subtree: a new internal node with the
+		// old leaf and the new leaf as children.
+		newLeaf := &ntNode{key: k, leaf: true, birth: t.dom.Era()}
+		inKey := leaf.key
+		if k > leaf.key {
+			inKey = k
+		}
+		internal := &ntNode{key: inKey, birth: t.dom.Era()}
+		if k < leaf.key {
+			internal.left.Store(&ntEdge{child: newLeaf})
+			internal.right.Store(&ntEdge{child: leaf})
+		} else {
+			internal.left.Store(&ntEdge{child: leaf})
+			internal.right.Store(&ntEdge{child: newLeaf})
+		}
+		if edge.CompareAndSwap(cur, &ntEdge{child: internal}) {
+			t.size.Add(1)
+			return true
+		}
+	}
+}
+
+// Remove deletes k; it reports whether the set changed. It follows the
+// paper's two-phase protocol: injection (flag the parent→leaf edge), then
+// cleanup (tag the sibling edge and splice the parent out at the
+// ancestor).
+func (t *NataTree) Remove(k uint64, tid int) bool {
+	defer t.dom.Clear(tid)
+	injected := false
+	var leaf *ntNode
+	for {
+		e := t.protect(tid)
+		rec, ok := t.seek(e, k)
+		if !ok {
+			continue
+		}
+		if !injected {
+			leaf = rec.leaf
+			if leaf == nil || leaf.key != k {
+				return false
+			}
+			parent := rec.parent
+			edge := edgeOf(parent, k)
+			cur := edge.Load()
+			if cur.child != leaf {
+				continue
+			}
+			if cur.flag || cur.tag {
+				t.cleanup(k, rec, tid)
+				continue
+			}
+			if !edge.CompareAndSwap(cur, &ntEdge{child: leaf, flag: true}) {
+				continue
+			}
+			injected = true
+			t.size.Add(-1)
+			if t.cleanup(k, rec, tid) {
+				return true
+			}
+			continue
+		}
+		// Injection done: keep helping until the leaf is detached.
+		if rec.leaf != leaf {
+			return true // someone completed our cleanup
+		}
+		if t.cleanup(k, rec, tid) {
+			return true
+		}
+	}
+}
+
+// cleanup attempts to splice out rec.parent (whose edge to the key-side
+// child is flagged or being helped): tag the sibling edge, then swing the
+// ancestor's edge to the sibling child. Returns true if this call (or a
+// prior helper, detected by a successful swing) completed the removal.
+func (t *NataTree) cleanup(k uint64, rec seekRecord, tid int) bool {
+	ancestor, parent := rec.ancestor, rec.parent
+	ancEdge := edgeOf(ancestor, k)
+	ancVal := ancEdge.Load()
+	if ancVal.child != rec.successor || ancVal.tag {
+		return false
+	}
+	keyEdge := edgeOf(parent, k)
+	sibEdge := &parent.left
+	if k < parent.key {
+		sibEdge = &parent.right
+	}
+	keyVal := keyEdge.Load()
+	if !keyVal.flag {
+		// The deletion on the key side is not (or no longer) claimed;
+		// nothing for us to splice.
+		return false
+	}
+	// Tag the sibling edge so it cannot change during the splice.
+	for {
+		sv := sibEdge.Load()
+		if sv.tag {
+			break
+		}
+		if sibEdge.CompareAndSwap(sv, &ntEdge{child: sv.child, flag: sv.flag, tag: true}) {
+			break
+		}
+	}
+	sv := sibEdge.Load()
+	// Splice: ancestor's edge skips parent, adopting the sibling child
+	// (keeping the sibling's flag, as the original does).
+	if ancEdge.CompareAndSwap(ancVal, &ntEdge{child: sv.child, flag: sv.flag}) {
+		t.retireNode(tid, parent)
+		if l := keyVal.child; l != nil {
+			t.retireNode(tid, l)
+		}
+		return true
+	}
+	return false
+}
+
+// Len returns the approximate size (exact when quiescent).
+func (t *NataTree) Len() int { return int(t.size.Load()) }
+
+// Violations returns reclaimed-node dereferences (must be zero).
+func (t *NataTree) Violations() uint64 { return t.bad.Load() }

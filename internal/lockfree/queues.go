@@ -1,0 +1,229 @@
+// Package lockfree contains the hand-made lock-free and wait-free data
+// structures the paper benchmarks OneFile against (§V): the Michael–Scott
+// queue, a wait-free linked queue in the Kogan–Petrank helping style
+// (standing in for SimQueue/Turn queue), the FAA-based array queue of
+// Correia & Ramalhete, a ring-segment queue in the spirit of LCRQ, the
+// Harris–Michael linked-list set, the Natarajan–Mittal external binary
+// search tree, and the FHMP durable queue on the emulated NVM device.
+//
+// These structures use native Go pointers (not the transactional heap);
+// their integrated reclamation uses hazard pointers or hazard eras exactly
+// as the paper's versions do, with the free callbacks poisoning nodes so
+// tests can detect protocol violations.
+//
+// Values are uint64 in [0, 2^62): implementations may reserve high bits or
+// sentinel values internally.
+package lockfree
+
+import (
+	"sync/atomic"
+
+	"onefile/internal/hp"
+)
+
+// Queue is the interface shared by the volatile concurrent queues. The tid
+// is the caller's thread slot for reclamation announcements; callers must
+// use distinct tids concurrently.
+type Queue interface {
+	Enqueue(v uint64, tid int)
+	Dequeue(tid int) (uint64, bool)
+	Name() string
+}
+
+// --- Michael–Scott queue (MSQueue) with hazard pointers ---
+
+type msNode struct {
+	val      uint64
+	next     atomic.Pointer[msNode]
+	poisoned atomic.Bool // set by HP reclamation; must never be observed
+}
+
+// MSQueue is the classic Michael & Scott lock-free queue (PODC 1996) with
+// hazard-pointer reclamation.
+type MSQueue struct {
+	head atomic.Pointer[msNode]
+	tail atomic.Pointer[msNode]
+	dom  *hp.Domain[msNode]
+	bad  atomic.Uint64
+}
+
+var _ Queue = (*MSQueue)(nil)
+
+// NewMSQueue creates a queue usable by maxThreads thread slots.
+func NewMSQueue(maxThreads int) *MSQueue {
+	q := &MSQueue{dom: hp.New[msNode](maxThreads)}
+	s := &msNode{}
+	q.head.Store(s)
+	q.tail.Store(s)
+	return q
+}
+
+// Name implements Queue.
+func (q *MSQueue) Name() string { return "MSQueue" }
+
+// Enqueue implements Queue.
+func (q *MSQueue) Enqueue(v uint64, tid int) {
+	n := &msNode{val: v}
+	for {
+		last := q.dom.Protect(tid, 0, &q.tail)
+		q.checkNode(last)
+		next := last.next.Load()
+		if last != q.tail.Load() {
+			continue
+		}
+		if next != nil {
+			q.tail.CompareAndSwap(last, next) // help advance
+			continue
+		}
+		if last.next.CompareAndSwap(nil, n) {
+			q.tail.CompareAndSwap(last, n)
+			q.dom.Clear(tid)
+			return
+		}
+	}
+}
+
+// Dequeue implements Queue.
+func (q *MSQueue) Dequeue(tid int) (uint64, bool) {
+	for {
+		first := q.dom.Protect(tid, 0, &q.head)
+		q.checkNode(first)
+		last := q.tail.Load()
+		next := q.dom.Protect(tid, 1, &first.next)
+		if first != q.head.Load() {
+			continue
+		}
+		if next == nil {
+			q.dom.Clear(tid)
+			return 0, false
+		}
+		q.checkNode(next)
+		if first == last {
+			q.tail.CompareAndSwap(last, next)
+			continue
+		}
+		v := next.val
+		if q.head.CompareAndSwap(first, next) {
+			q.dom.Retire(tid, first, func() { first.poisoned.Store(true) })
+			q.dom.Clear(tid)
+			return v, true
+		}
+	}
+}
+
+func (q *MSQueue) checkNode(n *msNode) {
+	if n != nil && n.poisoned.Load() {
+		q.bad.Add(1)
+	}
+}
+
+// Violations returns how often a reclaimed node was dereferenced (must be
+// zero; tests assert it).
+func (q *MSQueue) Violations() uint64 { return q.bad.Load() }
+
+// --- FAAArrayQueue (Correia & Ramalhete) ---
+
+const faaBuf = 1024
+
+// faaSegment is one array segment; cells start at 0 (empty), hold v+1 once
+// enqueued, or faaTaken once a dequeuer claimed them.
+type faaSegment struct {
+	deqIdx   atomic.Uint64
+	enqIdx   atomic.Uint64
+	items    [faaBuf]atomic.Uint64
+	next     atomic.Pointer[faaSegment]
+	poisoned atomic.Bool
+}
+
+const faaTaken = ^uint64(0)
+
+// FAAQueue is the fetch-and-add array queue: a linked list of array
+// segments where enqueuers and dequeuers claim cells with one FAA,
+// built only from single-word instructions (no DCAS).
+type FAAQueue struct {
+	head atomic.Pointer[faaSegment]
+	tail atomic.Pointer[faaSegment]
+	dom  *hp.Domain[faaSegment]
+	bad  atomic.Uint64
+}
+
+var _ Queue = (*FAAQueue)(nil)
+
+// NewFAAQueue creates a queue usable by maxThreads thread slots.
+func NewFAAQueue(maxThreads int) *FAAQueue {
+	q := &FAAQueue{dom: hp.New[faaSegment](maxThreads)}
+	s := &faaSegment{}
+	q.head.Store(s)
+	q.tail.Store(s)
+	return q
+}
+
+// Name implements Queue.
+func (q *FAAQueue) Name() string { return "FAAQueue" }
+
+// Enqueue implements Queue.
+func (q *FAAQueue) Enqueue(v uint64, tid int) {
+	for {
+		seg := q.dom.Protect(tid, 0, &q.tail)
+		if seg.poisoned.Load() {
+			q.bad.Add(1)
+		}
+		i := seg.enqIdx.Add(1) - 1
+		if i < faaBuf {
+			if seg.items[i].CompareAndSwap(0, v+1) {
+				q.dom.Clear(tid)
+				return
+			}
+			continue // cell was poisoned by a racing dequeuer; new cell
+		}
+		// Segment full: append a new one (or help someone who did).
+		next := seg.next.Load()
+		if next != nil {
+			q.tail.CompareAndSwap(seg, next)
+			continue
+		}
+		n := &faaSegment{}
+		n.enqIdx.Store(1)
+		n.items[0].Store(v + 1)
+		if seg.next.CompareAndSwap(nil, n) {
+			q.tail.CompareAndSwap(seg, n)
+			q.dom.Clear(tid)
+			return
+		}
+	}
+}
+
+// Dequeue implements Queue.
+func (q *FAAQueue) Dequeue(tid int) (uint64, bool) {
+	for {
+		seg := q.dom.Protect(tid, 0, &q.head)
+		if seg.poisoned.Load() {
+			q.bad.Add(1)
+		}
+		if seg.deqIdx.Load() >= seg.enqIdx.Load() && seg.next.Load() == nil {
+			q.dom.Clear(tid)
+			return 0, false
+		}
+		i := seg.deqIdx.Add(1) - 1
+		if i < faaBuf {
+			v := seg.items[i].Swap(faaTaken)
+			if v != 0 && v != faaTaken {
+				q.dom.Clear(tid)
+				return v - 1, true
+			}
+			// Raced ahead of the enqueuer: the cell is burned; retry.
+			continue
+		}
+		next := seg.next.Load()
+		if next == nil {
+			q.dom.Clear(tid)
+			return 0, false
+		}
+		if q.head.CompareAndSwap(seg, next) {
+			q.dom.Retire(tid, seg, func() { seg.poisoned.Store(true) })
+		}
+	}
+}
+
+// Violations returns reclaimed-node dereferences (must be zero).
+func (q *FAAQueue) Violations() uint64 { return q.bad.Load() }

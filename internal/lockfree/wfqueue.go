@@ -1,0 +1,189 @@
+package lockfree
+
+import "sync/atomic"
+
+// WFQueue is a wait-free multi-producer multi-consumer linked queue in the
+// Kogan–Petrank style (PPoPP 2011): every operation publishes a numbered
+// request and all threads help complete the oldest pending requests first,
+// which bounds every operation by the number of threads. It stands in for
+// the SimQueue/Turn-queue baselines of the paper's Fig. 4 (see DESIGN.md
+// §6); node reclamation is delegated to Go's garbage collector, which the
+// paper's JVM-based comparisons accept as the closest transient equivalent.
+type WFQueue struct {
+	head  atomic.Pointer[kpNode]
+	tail  atomic.Pointer[kpNode]
+	state []atomic.Pointer[kpDesc]
+}
+
+var _ Queue = (*WFQueue)(nil)
+
+type kpNode struct {
+	val    uint64
+	enqTid int32
+	deqTid atomic.Int32
+	next   atomic.Pointer[kpNode]
+}
+
+type kpDesc struct {
+	phase   int64
+	pending bool
+	enqueue bool
+	node    *kpNode
+}
+
+// NewWFQueue creates a queue usable by maxThreads thread slots.
+func NewWFQueue(maxThreads int) *WFQueue {
+	q := &WFQueue{state: make([]atomic.Pointer[kpDesc], maxThreads)}
+	s := &kpNode{enqTid: -1}
+	s.deqTid.Store(-1)
+	q.head.Store(s)
+	q.tail.Store(s)
+	idle := &kpDesc{phase: -1}
+	for i := range q.state {
+		q.state[i].Store(idle)
+	}
+	return q
+}
+
+// Name implements Queue.
+func (q *WFQueue) Name() string { return "WFQueue" }
+
+func (q *WFQueue) maxPhase() int64 {
+	var m int64 = -1
+	for i := range q.state {
+		if p := q.state[i].Load().phase; p > m {
+			m = p
+		}
+	}
+	return m
+}
+
+func (q *WFQueue) isPending(tid int, phase int64) bool {
+	d := q.state[tid].Load()
+	return d.pending && d.phase <= phase
+}
+
+// help completes every request with a phase not newer than phase.
+func (q *WFQueue) help(phase int64) {
+	for i := range q.state {
+		d := q.state[i].Load()
+		if d.pending && d.phase <= phase {
+			if d.enqueue {
+				q.helpEnq(i, phase)
+			} else {
+				q.helpDeq(i, phase)
+			}
+		}
+	}
+}
+
+// Enqueue implements Queue.
+func (q *WFQueue) Enqueue(v uint64, tid int) {
+	phase := q.maxPhase() + 1
+	n := &kpNode{val: v, enqTid: int32(tid)}
+	n.deqTid.Store(-1)
+	q.state[tid].Store(&kpDesc{phase: phase, pending: true, enqueue: true, node: n})
+	q.help(phase)
+	q.helpFinishEnq()
+}
+
+func (q *WFQueue) helpEnq(tid int, phase int64) {
+	for q.isPending(tid, phase) {
+		last := q.tail.Load()
+		next := last.next.Load()
+		if last != q.tail.Load() {
+			continue
+		}
+		if next != nil {
+			q.helpFinishEnq()
+			continue
+		}
+		if !q.isPending(tid, phase) {
+			return
+		}
+		if last.next.CompareAndSwap(nil, q.state[tid].Load().node) {
+			q.helpFinishEnq()
+			return
+		}
+	}
+}
+
+func (q *WFQueue) helpFinishEnq() {
+	last := q.tail.Load()
+	next := last.next.Load()
+	if next == nil {
+		return
+	}
+	tid := int(next.enqTid)
+	if tid < 0 || tid >= len(q.state) {
+		q.tail.CompareAndSwap(last, next)
+		return
+	}
+	cur := q.state[tid].Load()
+	if last == q.tail.Load() && cur.node == next && cur.pending && cur.enqueue {
+		q.state[tid].CompareAndSwap(cur, &kpDesc{phase: cur.phase, enqueue: true, node: next})
+	}
+	q.tail.CompareAndSwap(last, next)
+}
+
+// Dequeue implements Queue.
+func (q *WFQueue) Dequeue(tid int) (uint64, bool) {
+	phase := q.maxPhase() + 1
+	q.state[tid].Store(&kpDesc{phase: phase, pending: true})
+	q.help(phase)
+	q.helpFinishDeq()
+	d := q.state[tid].Load()
+	if d.node == nil {
+		return 0, false
+	}
+	return d.node.next.Load().val, true
+}
+
+func (q *WFQueue) helpDeq(tid int, phase int64) {
+	for q.isPending(tid, phase) {
+		first := q.head.Load()
+		last := q.tail.Load()
+		next := first.next.Load()
+		if first != q.head.Load() {
+			continue
+		}
+		if first == last {
+			if next == nil { // empty
+				cur := q.state[tid].Load()
+				if last == q.tail.Load() && q.isPending(tid, phase) {
+					q.state[tid].CompareAndSwap(cur, &kpDesc{phase: cur.phase})
+				}
+				continue
+			}
+			q.helpFinishEnq() // tail is lagging
+			continue
+		}
+		cur := q.state[tid].Load()
+		if !cur.pending || cur.phase > phase {
+			return
+		}
+		if first == q.head.Load() && cur.node != first {
+			if !q.state[tid].CompareAndSwap(cur, &kpDesc{phase: cur.phase, pending: true, node: first}) {
+				continue
+			}
+		}
+		first.deqTid.CompareAndSwap(-1, int32(tid))
+		q.helpFinishDeq()
+	}
+}
+
+func (q *WFQueue) helpFinishDeq() {
+	first := q.head.Load()
+	next := first.next.Load()
+	tid := int(first.deqTid.Load())
+	if tid < 0 || tid >= len(q.state) {
+		return
+	}
+	cur := q.state[tid].Load()
+	if first == q.head.Load() && next != nil {
+		if cur.pending && !cur.enqueue {
+			q.state[tid].CompareAndSwap(cur, &kpDesc{phase: cur.phase, node: cur.node})
+		}
+		q.head.CompareAndSwap(first, next)
+	}
+}

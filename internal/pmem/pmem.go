@@ -1,0 +1,380 @@
+// Package pmem emulates a byte-addressable non-volatile memory device with
+// the persistence semantics the paper's algorithms rely on:
+//
+//   - a store becomes durable only after a persistent write-back (pwb,
+//     Flush*) of its cache line and a subsequent ordering point (pfence,
+//     Fence, or an atomic RMW that acts as one, Drain);
+//   - a crash (Crash) discards everything that was not durable;
+//   - flushing persists the *current* content of a line, so the persistent
+//     image never moves backwards past a newer flushed value.
+//
+// The device exposes two address spaces:
+//
+//   - the raw region: plain 64-bit words with volatile and persistent
+//     copies, flushed at 64-byte (8-word) cache-line granularity. Redo/undo
+//     logs, replica data and hand-made persistent structures live here.
+//   - the pair region: the persistent image of two-word TM words
+//     ({value, sequence} pairs, see package dcas). The volatile truth for
+//     these lives in the owning engine; the device keeps only the image,
+//     guarded by the sequence so a delayed flusher can never regress it —
+//     exactly the behaviour of flushing a cache line that a newer DCAS
+//     already updated.
+//
+// In StrictMode every Flush is immediately durable (write-through), which
+// matches CLWB followed by a fence on every flush. In RelaxedMode flushes
+// are buffered per thread slot and only become durable at the next Fence or
+// Drain by that slot; Crash applies a random subset of the still-buffered
+// flushes (a pwb may complete early on real hardware) and drops the rest.
+// RelaxedMode exercises the reordering windows that crash-consistency bugs
+// hide in.
+//
+// The device also counts pwb and pfence events (Table I of the paper) and
+// offers a hook called before every persistence event, which failure-
+// injection tests use to simulate a crash at an exact point.
+package pmem
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"onefile/internal/dcas"
+)
+
+// LineWords is the cache-line size in 64-bit words (64 bytes).
+const LineWords = 8
+
+// Mode selects the durability model.
+type Mode int
+
+const (
+	// StrictMode makes every flush immediately durable.
+	StrictMode Mode = iota + 1
+	// RelaxedMode buffers flushes until the next Fence/Drain of the
+	// issuing slot and drops a random subset of buffered flushes at Crash.
+	RelaxedMode
+)
+
+// Event identifies a persistence event for hooks.
+type Event int
+
+const (
+	// EvPwb is a persistent write-back (Flush / FlushPair).
+	EvPwb Event = iota + 1
+	// EvFence is an explicit persistent fence.
+	EvFence
+	// EvDrain is an ordering point provided by an atomic RMW (the
+	// "CAS acts as pfence" path); it is not counted as a pfence.
+	EvDrain
+)
+
+// Config sizes a Device.
+type Config struct {
+	RawWords  int   // size of the raw region in 64-bit words
+	PairWords int   // number of TM words in the pair region
+	Mode      Mode  // durability model; StrictMode if zero
+	MaxSlots  int   // number of flush-issuing slots (thread slots)
+	Seed      int64 // RNG seed for RelaxedMode crash behaviour
+}
+
+// Stats are the device's persistence counters.
+type Stats struct {
+	Pwb    uint64 // persistent write-backs issued
+	Pfence uint64 // persistent fences issued
+}
+
+type pendingRaw struct {
+	line int
+	vals [LineWords]uint64
+}
+
+type pendingPair struct {
+	idx  int
+	pair *dcas.Pair
+}
+
+type slotBuf struct {
+	raws  []pendingRaw
+	pairs []pendingPair
+}
+
+// Device is an emulated NVM DIMM. All methods are safe for concurrent use
+// except Crash and Recover-time image accessors, which require quiescence
+// (no goroutine inside a transaction), as a real whole-process crash would.
+type Device struct {
+	cfg Config
+
+	rawVol []atomic.Uint64 // volatile view of the raw region
+	rawImg []uint64        // persistent image of the raw region
+	rawMu  []sync.Mutex    // per-line-group image locks (raw region only)
+
+	pairImg []atomic.Pointer[dcas.Pair] // persistent image of TM words
+
+	pending []slotBuf // per-slot flush buffers (RelaxedMode)
+
+	pwb    atomic.Uint64
+	pfence atomic.Uint64
+
+	hook atomic.Pointer[func(Event)]
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// ErrBadConfig reports an invalid device configuration.
+var ErrBadConfig = errors.New("pmem: invalid device configuration")
+
+// New creates a Device. The persistent image starts zeroed (a fresh DIMM).
+func New(cfg Config) (*Device, error) {
+	if cfg.RawWords < 0 || cfg.PairWords < 0 || cfg.RawWords+cfg.PairWords == 0 {
+		return nil, ErrBadConfig
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = StrictMode
+	}
+	if cfg.Mode != StrictMode && cfg.Mode != RelaxedMode {
+		return nil, ErrBadConfig
+	}
+	if cfg.MaxSlots <= 0 {
+		cfg.MaxSlots = 1024
+	}
+	nLines := (cfg.RawWords + LineWords - 1) / LineWords
+	d := &Device{
+		cfg:     cfg,
+		rawVol:  make([]atomic.Uint64, cfg.RawWords),
+		rawImg:  make([]uint64, cfg.RawWords),
+		rawMu:   make([]sync.Mutex, minInt(nLines, 1024)+1),
+		pairImg: make([]atomic.Pointer[dcas.Pair], cfg.PairWords),
+		pending: make([]slotBuf, cfg.MaxSlots),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+	return d, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Mode returns the device's durability model.
+func (d *Device) Mode() Mode { return d.cfg.Mode }
+
+// Stats returns a snapshot of the persistence counters.
+func (d *Device) Stats() Stats {
+	return Stats{Pwb: d.pwb.Load(), Pfence: d.pfence.Load()}
+}
+
+// ResetStats zeroes the persistence counters.
+func (d *Device) ResetStats() {
+	d.pwb.Store(0)
+	d.pfence.Store(0)
+}
+
+// SetHook installs fn to be called before every persistence event, or
+// removes the hook if fn is nil. Used by failure-injection tests.
+func (d *Device) SetHook(fn func(Event)) {
+	if fn == nil {
+		d.hook.Store(nil)
+		return
+	}
+	d.hook.Store(&fn)
+}
+
+func (d *Device) fire(ev Event) {
+	if h := d.hook.Load(); h != nil {
+		(*h)(ev)
+	}
+}
+
+// --- raw region: volatile accessors ---
+
+// RawLoad returns the volatile value of raw word off.
+func (d *Device) RawLoad(off int) uint64 { return d.rawVol[off].Load() }
+
+// RawStore sets the volatile value of raw word off. Not durable until the
+// covering line is flushed and fenced.
+func (d *Device) RawStore(off int, v uint64) { d.rawVol[off].Store(v) }
+
+// RawCAS performs a compare-and-swap on the volatile raw word off.
+func (d *Device) RawCAS(off int, old, new uint64) bool {
+	return d.rawVol[off].CompareAndSwap(old, new)
+}
+
+// RawAdd atomically adds delta to the volatile raw word off and returns the
+// new value.
+func (d *Device) RawAdd(off int, delta uint64) uint64 {
+	return d.rawVol[off].Add(delta)
+}
+
+// RawRegion returns the volatile raw words [off, off+n) as a slice, letting
+// an engine use device memory directly as its shared structures (redo logs,
+// replicas). Stores through the slice are volatile; persistence still goes
+// through Flush.
+func (d *Device) RawRegion(off, n int) []atomic.Uint64 {
+	return d.rawVol[off : off+n]
+}
+
+// --- raw region: persistence ---
+
+// lineOf returns the line index covering raw word off.
+func lineOf(off int) int { return off / LineWords }
+
+// snapshotLine captures the current volatile content of a line.
+func (d *Device) snapshotLine(line int) (p pendingRaw) {
+	p.line = line
+	base := line * LineWords
+	for i := 0; i < LineWords && base+i < len(d.rawVol); i++ {
+		p.vals[i] = d.rawVol[base+i].Load()
+	}
+	return p
+}
+
+func (d *Device) commitRawLine(p pendingRaw) {
+	mu := &d.rawMu[p.line%len(d.rawMu)]
+	mu.Lock()
+	base := p.line * LineWords
+	for i := 0; i < LineWords && base+i < len(d.rawImg); i++ {
+		d.rawImg[base+i] = p.vals[i]
+	}
+	mu.Unlock()
+}
+
+// Flush issues one pwb per cache line covering raw words [off, off+n).
+// slot is the issuing thread slot (used for RelaxedMode buffering).
+func (d *Device) Flush(slot, off, n int) {
+	if n <= 0 {
+		return
+	}
+	first, last := lineOf(off), lineOf(off+n-1)
+	for line := first; line <= last; line++ {
+		d.fire(EvPwb)
+		d.pwb.Add(1)
+		snap := d.snapshotLine(line)
+		if d.cfg.Mode == StrictMode {
+			d.commitRawLine(snap)
+		} else {
+			d.pending[slot].raws = append(d.pending[slot].raws, snap)
+		}
+	}
+}
+
+// --- pair region: persistence ---
+
+// commitPair advances the persistent image of TM word idx to p, unless the
+// image already holds an equal or newer sequence (monotonic guard).
+func (d *Device) commitPair(idx int, p *dcas.Pair) {
+	for {
+		cur := d.pairImg[idx].Load()
+		if cur != nil && cur.Seq >= p.Seq {
+			return
+		}
+		if d.pairImg[idx].CompareAndSwap(cur, p) {
+			return
+		}
+	}
+}
+
+// FlushPair issues one pwb persisting the given snapshot of TM word idx.
+// The snapshot must be the flusher's current view of the word (read at
+// flush time); the monotonic guard makes stale snapshots harmless.
+func (d *Device) FlushPair(slot, idx int, p *dcas.Pair) {
+	d.fire(EvPwb)
+	d.pwb.Add(1)
+	if d.cfg.Mode == StrictMode {
+		d.commitPair(idx, p)
+		return
+	}
+	d.pending[slot].pairs = append(d.pending[slot].pairs, pendingPair{idx: idx, pair: p})
+}
+
+// drain commits all buffered flushes of slot.
+func (d *Device) drain(slot int) {
+	buf := &d.pending[slot]
+	for _, p := range buf.raws {
+		d.commitRawLine(p)
+	}
+	buf.raws = buf.raws[:0]
+	for _, p := range buf.pairs {
+		d.commitPair(p.idx, p.pair)
+	}
+	buf.pairs = buf.pairs[:0]
+}
+
+// Fence issues a pfence: all flushes previously issued by slot become
+// durable.
+func (d *Device) Fence(slot int) {
+	d.fire(EvFence)
+	d.pfence.Add(1)
+	if d.cfg.Mode == RelaxedMode {
+		d.drain(slot)
+	}
+}
+
+// Drain provides the ordering of a fence without counting a pfence. It
+// models an atomic RMW instruction that orders prior CLWBs on x86 (the
+// paper's "the successful CAS acts as a pfence").
+func (d *Device) Drain(slot int) {
+	d.fire(EvDrain)
+	if d.cfg.Mode == RelaxedMode {
+		d.drain(slot)
+	}
+}
+
+// --- crash and recovery ---
+
+// Crash simulates a full-system power failure. Buffered flushes are
+// independently kept (the pwb happened to complete) or dropped with equal
+// probability; then every volatile raw word is reloaded from the persistent
+// image. The caller must guarantee quiescence. After Crash the pair image
+// is the only record of TM words; engines rebuild their volatile words from
+// it via ImagePair.
+func (d *Device) Crash() {
+	if d.cfg.Mode == RelaxedMode {
+		d.rngMu.Lock()
+		for s := range d.pending {
+			buf := &d.pending[s]
+			for _, p := range buf.raws {
+				if d.rng.Intn(2) == 0 {
+					d.commitRawLine(p)
+				}
+			}
+			buf.raws = nil
+			for _, p := range buf.pairs {
+				if d.rng.Intn(2) == 0 {
+					d.commitPair(p.idx, p.pair)
+				}
+			}
+			buf.pairs = nil
+		}
+		d.rngMu.Unlock()
+	} else {
+		for s := range d.pending {
+			d.pending[s] = slotBuf{}
+		}
+	}
+	for i := range d.rawVol {
+		d.rawVol[i].Store(d.rawImg[i])
+	}
+}
+
+// ImagePair returns the persistent image of TM word idx (value, sequence).
+// Intended for recovery and tests.
+func (d *Device) ImagePair(idx int) (val, seq uint64) {
+	if p := d.pairImg[idx].Load(); p != nil {
+		return p.Val, p.Seq
+	}
+	return 0, 0
+}
+
+// ImageRaw returns the persistent image of raw word off. Intended for
+// recovery and tests; callers must be quiescent.
+func (d *Device) ImageRaw(off int) uint64 { return d.rawImg[off] }
+
+// RawWords returns the size of the raw region.
+func (d *Device) RawWords() int { return len(d.rawVol) }
+
+// PairWords returns the size of the pair region.
+func (d *Device) PairWords() int { return len(d.pairImg) }

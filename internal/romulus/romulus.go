@@ -1,0 +1,425 @@
+// Package romulus implements the Romulus persistent transactional memory
+// (Correia, Felber, Ramalhete — SPAA 2018), the strongest PTM baseline in
+// the paper's NVM evaluation (§V-B). Romulus keeps two full replicas of the
+// heap in NVM — "main" and "back" — plus a small state word, instead of a
+// persistent log:
+//
+//	MUTATING: the transaction executes in place on main;
+//	COPYING:  main is consistent and its modifications are being copied
+//	          to back (a volatile log of modified offsets avoids a full
+//	          copy);
+//	IDLE:     both replicas are consistent.
+//
+// Recovery inspects the durable state word: MUTATING restores main from
+// back, COPYING re-copies main to back; either way both replicas are
+// consistent afterwards. An update transaction costs roughly 3+2·Nw pwbs
+// and at most 4 pfences regardless of size — and a whole flat-combining
+// batch shares those fences, which is Romulus's performance trick and is
+// reproduced here: update transactions are published as closures and the
+// lock holder executes every pending one inside a single state cycle.
+//
+// Two variants match the paper:
+//
+//   - NewLog ("RomulusLog"): readers take the read side of a
+//     reader-writer lock and read main.
+//   - NewLR ("RomulusLR"): wait-free readers — a left-right style view
+//     toggle lets readers run on whichever replica is quiescent, so they
+//     never block, while the (blocking) writer waits for the other side to
+//     drain before mutating it.
+package romulus
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"onefile/internal/pmem"
+	"onefile/internal/talloc"
+	"onefile/internal/tm"
+)
+
+const (
+	hdrWords = pmem.LineWords
+	hdrMagic = 0
+	hdrState = 1
+	magicVal = 0x0A03_0135_0001
+
+	stIdle     = 0
+	stMutating = 1
+	stCopying  = 2
+)
+
+// ErrNotFormatted reports attaching to a device with no valid heap.
+var ErrNotFormatted = errors.New("romulus: device holds no heap (bad magic)")
+
+// modEntry records one in-place modification of main: the offset for the
+// copy phase and the previous value so a panicking transaction can be
+// rolled back without touching the rest of its batch.
+type modEntry struct {
+	off int
+	old uint64
+}
+
+// fcReq is one published flat-combining request.
+type fcReq struct {
+	fn  func(tx tm.Tx) uint64
+	res uint64
+	err any // re-panicked on the caller's goroutine
+}
+
+// Engine is a Romulus PTM ("RomulusLog" or "RomulusLR").
+type Engine struct {
+	cfg tm.Config
+	dev *pmem.Device
+	lr  bool
+
+	mainBase int
+	backBase int
+	dyn      tm.Ptr
+
+	wmu   sync.Mutex // writer/combiner lock
+	rw    sync.RWMutex
+	reqs  []atomic.Pointer[fcReq]
+	rhint atomic.Uint32
+
+	// Left-right machinery (LR variant): readView names the replica
+	// readers may enter (0 = main, 1 = back); arrive/depart count readers
+	// per replica.
+	readView atomic.Uint32
+	arrive   [2]atomic.Uint64
+	depart   [2]atomic.Uint64
+
+	modLog []modEntry // combiner-private: modifications this cycle
+
+	commits     atomic.Uint64
+	readCommits atomic.Uint64
+	combined    atomic.Uint64
+}
+
+var (
+	_ tm.Engine     = (*Engine)(nil)
+	_ tm.Persistent = (*Engine)(nil)
+)
+
+// DeviceConfig returns the pmem configuration required by an engine with
+// the same options: two full replicas plus the header.
+func DeviceConfig(mode pmem.Mode, seed int64, opts ...tm.Option) pmem.Config {
+	cfg := tm.Apply(opts)
+	return pmem.Config{
+		RawWords: hdrWords + 2*cfg.HeapWords,
+		Mode:     mode,
+		MaxSlots: cfg.MaxThreads,
+		Seed:     seed,
+	}
+}
+
+// NewLog creates or attaches the RomulusLog variant.
+func NewLog(dev *pmem.Device, attach bool, opts ...tm.Option) (*Engine, error) {
+	return newEngine(dev, attach, false, opts)
+}
+
+// NewLR creates or attaches the RomulusLR variant (wait-free readers).
+func NewLR(dev *pmem.Device, attach bool, opts ...tm.Option) (*Engine, error) {
+	return newEngine(dev, attach, true, opts)
+}
+
+func newEngine(dev *pmem.Device, attach, lr bool, opts []tm.Option) (*Engine, error) {
+	cfg := tm.Apply(opts)
+	e := &Engine{
+		cfg:      cfg,
+		dev:      dev,
+		lr:       lr,
+		mainBase: hdrWords,
+		backBase: hdrWords + cfg.HeapWords,
+		dyn:      talloc.MetaBase + talloc.MetaWords,
+		reqs:     make([]atomic.Pointer[fcReq], cfg.MaxThreads),
+	}
+	if dev.RawWords() < e.backBase+cfg.HeapWords {
+		return nil, errors.New("romulus: device too small")
+	}
+	e.readView.Store(1) // readers start on back; the writer mutates main
+	if attach {
+		if dev.ImageRaw(hdrMagic) != magicVal {
+			return nil, ErrNotFormatted
+		}
+		e.recoverImage()
+		return e, nil
+	}
+	talloc.InitDirect(func(p tm.Ptr, v uint64) {
+		dev.RawStore(e.mainBase+int(p), v)
+		dev.RawStore(e.backBase+int(p), v)
+	}, e.dyn, cfg.HeapWords)
+	dev.Flush(0, e.mainBase, cfg.HeapWords)
+	dev.Flush(0, e.backBase, cfg.HeapWords)
+	dev.RawStore(hdrState, stIdle)
+	dev.RawStore(hdrMagic, magicVal)
+	dev.Flush(0, hdrMagic, 2)
+	dev.Fence(0)
+	dev.ResetStats()
+	return e, nil
+}
+
+// recoverImage restores replica consistency from the durable state word.
+func (e *Engine) recoverImage() {
+	switch e.dev.ImageRaw(hdrState) {
+	case stMutating:
+		// main may be torn: restore it from back.
+		e.copyReplica(e.backBase, e.mainBase)
+	case stCopying:
+		// main is consistent: redo the interrupted copy in full.
+		e.copyReplica(e.mainBase, e.backBase)
+	}
+	e.dev.RawStore(hdrState, stIdle)
+	e.dev.Flush(0, hdrState, 1)
+	e.dev.Fence(0)
+}
+
+func (e *Engine) copyReplica(from, to int) {
+	for i := 0; i < e.cfg.HeapWords; i++ {
+		e.dev.RawStore(to+i, e.dev.RawLoad(from+i))
+	}
+	e.dev.Flush(0, to, e.cfg.HeapWords)
+	e.dev.Fence(0)
+}
+
+// Recover implements tm.Persistent.
+func (e *Engine) Recover() error { e.recoverImage(); return nil }
+
+// Name implements tm.Engine.
+func (e *Engine) Name() string {
+	if e.lr {
+		return "RomulusLR"
+	}
+	return "RomulusLog"
+}
+
+// Stats implements tm.Engine.
+func (e *Engine) Stats() tm.Stats {
+	d := e.dev.Stats()
+	return tm.Stats{
+		Commits:      e.commits.Load(),
+		ReadCommits:  e.readCommits.Load(),
+		AggregatedOp: e.combined.Load(),
+		Pwb:          d.Pwb,
+		Pfence:       d.Pfence,
+	}
+}
+
+// Close implements tm.Engine.
+func (e *Engine) Close() error { return nil }
+
+// DynBase returns the first dynamically allocatable word (audit aid).
+func (e *Engine) DynBase() tm.Ptr { return e.dyn }
+
+// Update implements tm.Engine via flat combining: publish the operation,
+// then either become the combiner or wait for one to execute it.
+func (e *Engine) Update(fn func(tx tm.Tx) uint64) uint64 {
+	req := &fcReq{fn: fn}
+	slot := e.publish(req)
+	for {
+		if e.reqs[slot].Load() != req { // consumed: result is ready
+			break
+		}
+		if e.wmu.TryLock() {
+			if e.reqs[slot].Load() == req {
+				e.combine()
+			}
+			e.wmu.Unlock()
+			continue
+		}
+		runtime.Gosched()
+	}
+	if req.err != nil {
+		panic(req.err)
+	}
+	return req.res
+}
+
+func (e *Engine) publish(req *fcReq) int {
+	n := len(e.reqs)
+	start := int(e.rhint.Add(1))
+	for {
+		for i := 0; i < n; i++ {
+			j := (start + i) % n
+			if e.reqs[j].Load() == nil && e.reqs[j].CompareAndSwap(nil, req) {
+				return j
+			}
+		}
+		runtime.Gosched()
+	}
+}
+
+// combine executes every pending request inside one Romulus state cycle,
+// sharing the four persistence fences across the whole batch.
+func (e *Engine) combine() {
+	var batch []*fcReq
+	var slots []int
+	for i := range e.reqs {
+		if r := e.reqs[i].Load(); r != nil {
+			batch = append(batch, r)
+			slots = append(slots, i)
+		}
+	}
+	if len(batch) == 0 {
+		return
+	}
+	if !e.lr {
+		e.rw.Lock() // block RomulusLog readers for the in-place phase
+	} else {
+		// LR: readers are on back (readView==1) whenever the writer is
+		// about to mutate main; wait for stragglers still on main.
+		e.waitDrain(0)
+	}
+	e.modLog = e.modLog[:0]
+	// MUTATING: in-place execution on main.
+	e.dev.RawStore(hdrState, stMutating)
+	e.dev.Flush(0, hdrState, 1)
+	e.dev.Fence(0)
+	for _, r := range batch {
+		e.runOne(r)
+	}
+	e.flushMod(e.mainBase)
+	e.dev.Fence(0)
+	// COPYING: main is now the consistent truth.
+	e.dev.RawStore(hdrState, stCopying)
+	e.dev.Flush(0, hdrState, 1)
+	e.dev.Fence(0)
+	if e.lr {
+		// Move readers to main while back is patched.
+		e.readView.Store(0)
+		e.waitDrain(1)
+	}
+	for _, m := range e.modLog {
+		e.dev.RawStore(e.backBase+m.off, e.dev.RawLoad(e.mainBase+m.off))
+	}
+	e.flushMod(e.backBase)
+	e.dev.RawStore(hdrState, stIdle)
+	e.dev.Flush(0, hdrState, 1)
+	e.dev.Fence(0)
+	if e.lr {
+		e.readView.Store(1) // back is consistent again; next cycle mutates main
+	} else {
+		e.rw.Unlock()
+	}
+	e.commits.Add(uint64(len(batch)))
+	if len(batch) > 1 {
+		e.combined.Add(uint64(len(batch) - 1))
+	}
+	// Release the requesters only after their effects are durable.
+	for _, s := range slots {
+		e.reqs[s].Store(nil)
+	}
+}
+
+// runOne executes a single request on main. A panicking body is rolled
+// back in place (reverse undo of its own modifications) and its panic is
+// re-raised on the requester's goroutine, so one bad transaction cannot
+// wedge or corrupt the batch.
+func (e *Engine) runOne(r *fcReq) {
+	start := len(e.modLog)
+	defer func() {
+		if p := recover(); p != nil {
+			for k := len(e.modLog) - 1; k >= start; k-- {
+				m := e.modLog[k]
+				e.dev.RawStore(e.mainBase+m.off, m.old)
+			}
+			e.modLog = e.modLog[:start]
+			r.err = p
+		}
+	}()
+	tx := uTx{e: e}
+	r.res = r.fn(&tx)
+}
+
+// flushMod issues one pwb per distinct modified cache line of a replica.
+func (e *Engine) flushMod(base int) {
+	if len(e.modLog) == 0 {
+		return
+	}
+	seen := make(map[int]struct{}, len(e.modLog))
+	for _, m := range e.modLog {
+		line := (base + m.off) / pmem.LineWords
+		if _, dup := seen[line]; dup {
+			continue
+		}
+		seen[line] = struct{}{}
+		e.dev.Flush(0, base+m.off, 1)
+	}
+}
+
+// waitDrain blocks until no reader remains inside replica side.
+func (e *Engine) waitDrain(side int) {
+	for e.arrive[side].Load() != e.depart[side].Load() {
+		runtime.Gosched()
+	}
+}
+
+// Read implements tm.Engine.
+func (e *Engine) Read(fn func(tx tm.Tx) uint64) uint64 {
+	if !e.lr {
+		e.rw.RLock()
+		tx := rTx{e: e, base: e.mainBase}
+		res := fn(&tx)
+		e.rw.RUnlock()
+		e.readCommits.Add(1)
+		return res
+	}
+	// LR: enter whichever replica is designated readable; never blocks.
+	var v uint32
+	for {
+		v = e.readView.Load()
+		e.arrive[v].Add(1)
+		if e.readView.Load() == v {
+			break
+		}
+		e.depart[v].Add(1)
+	}
+	base := e.mainBase
+	if v == 1 {
+		base = e.backBase
+	}
+	tx := rTx{e: e, base: base}
+	res := fn(&tx)
+	e.depart[v].Add(1)
+	e.readCommits.Add(1)
+	return res
+}
+
+// --- transaction handles ---
+
+// uTx executes in place on main (combiner only), recording modified
+// offsets.
+type uTx struct {
+	e *Engine
+}
+
+var _ tm.Tx = (*uTx)(nil)
+
+func (t *uTx) Load(p tm.Ptr) uint64 {
+	return t.e.dev.RawLoad(t.e.mainBase + int(p))
+}
+
+func (t *uTx) Store(p tm.Ptr, v uint64) {
+	old := t.e.dev.RawLoad(t.e.mainBase + int(p))
+	t.e.dev.RawStore(t.e.mainBase+int(p), v)
+	t.e.modLog = append(t.e.modLog, modEntry{off: int(p), old: old})
+}
+
+func (t *uTx) Alloc(n int) tm.Ptr { return talloc.Alloc(t, n) }
+func (t *uTx) Free(p tm.Ptr)      { talloc.Free(t, p) }
+
+type rTx struct {
+	e    *Engine
+	base int
+}
+
+var _ tm.Tx = (*rTx)(nil)
+
+func (t *rTx) Load(p tm.Ptr) uint64 {
+	return t.e.dev.RawLoad(t.base + int(p))
+}
+
+func (t *rTx) Store(tm.Ptr, uint64) { panic(tm.ErrUpdateInReadTx) }
+func (t *rTx) Alloc(int) tm.Ptr     { panic(tm.ErrUpdateInReadTx) }
+func (t *rTx) Free(tm.Ptr)          { panic(tm.ErrUpdateInReadTx) }

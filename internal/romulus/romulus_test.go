@@ -1,0 +1,221 @@
+package romulus
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"onefile/internal/pmem"
+	"onefile/internal/tm"
+)
+
+func opts() []tm.Option {
+	return []tm.Option{
+		tm.WithHeapWords(1 << 13),
+		tm.WithMaxThreads(8),
+		tm.WithMaxStores(1 << 9),
+	}
+}
+
+func newEngines(t *testing.T, mode pmem.Mode, lr bool) (*Engine, *pmem.Device) {
+	t.Helper()
+	dev, err := pmem.New(DeviceConfig(mode, 5, opts()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e *Engine
+	if lr {
+		e, err = NewLR(dev, false, opts()...)
+	} else {
+		e, err = NewLog(dev, false, opts()...)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, dev
+}
+
+func TestBothVariantsBasic(t *testing.T) {
+	for _, lr := range []bool{false, true} {
+		e, _ := newEngines(t, pmem.StrictMode, lr)
+		e.Update(func(tx tm.Tx) uint64 {
+			tx.Store(tm.Root(0), 77)
+			return 0
+		})
+		if got := e.Read(func(tx tm.Tx) uint64 { return tx.Load(tm.Root(0)) }); got != 77 {
+			t.Fatalf("%s: read = %d", e.Name(), got)
+		}
+	}
+}
+
+func TestAttachUnformatted(t *testing.T) {
+	dev, err := pmem.New(DeviceConfig(pmem.StrictMode, 0, opts()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLog(dev, true, opts()...); !errors.Is(err, ErrNotFormatted) {
+		t.Fatalf("err = %v, want ErrNotFormatted", err)
+	}
+}
+
+// TestFlatCombiningBatches: under concurrency, multiple requests must be
+// executed by a single combiner (combined counter grows).
+func TestFlatCombiningBatches(t *testing.T) {
+	e, _ := newEngines(t, pmem.StrictMode, false)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				e.Update(func(tx tm.Tx) uint64 {
+					tx.Store(tm.Root(0), tx.Load(tm.Root(0))+1)
+					return 0
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := e.Read(func(tx tm.Tx) uint64 { return tx.Load(tm.Root(0)) }); got != 2400 {
+		t.Fatalf("counter = %d", got)
+	}
+	if e.Stats().AggregatedOp == 0 {
+		t.Log("note: no combining observed (acceptable on a fast machine, but unusual)")
+	}
+}
+
+// TestCrashStateMachine sweeps crash points through the MUTATING/COPYING
+// cycle; recovery must always restore replica consistency and all-or-
+// nothing transactions.
+func TestCrashStateMachine(t *testing.T) {
+	for _, lr := range []bool{false, true} {
+		for k := 1; k < 60; k++ {
+			e, dev := newEngines(t, pmem.RelaxedMode, lr)
+			e.Update(func(tx tm.Tx) uint64 {
+				tx.Store(tm.Root(0), 5)
+				tx.Store(tm.Root(1), 6)
+				return 0
+			})
+			acked := func() (ok bool) {
+				defer func() {
+					if recover() != nil {
+						ok = false
+					}
+				}()
+				n := 0
+				dev.SetHook(func(pmem.Event) {
+					n++
+					if n == k {
+						panic("crash")
+					}
+				})
+				defer dev.SetHook(nil)
+				e.Update(func(tx tm.Tx) uint64 {
+					tx.Store(tm.Root(0), 50)
+					tx.Store(tm.Root(1), 60)
+					return 0
+				})
+				return true
+			}()
+			dev.Crash()
+			var r *Engine
+			var err error
+			if lr {
+				r, err = NewLR(dev, true, opts()...)
+			} else {
+				r, err = NewLog(dev, true, opts()...)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := r.Read(func(tx tm.Tx) uint64 { return tx.Load(tm.Root(0)) })
+			b := r.Read(func(tx tm.Tx) uint64 { return tx.Load(tm.Root(1)) })
+			old := a == 5 && b == 6
+			new := a == 50 && b == 60
+			if !old && !new {
+				t.Fatalf("lr=%v k=%d: torn state (%d,%d)", lr, k, a, b)
+			}
+			if acked && !new {
+				t.Fatalf("lr=%v k=%d: acknowledged tx lost", lr, k)
+			}
+			// Both replicas must agree after recovery.
+			if img0, img1 := dev.ImageRaw(hdrWords+int(tm.Root(0))), dev.ImageRaw(hdrWords+opts0HeapWords()+int(tm.Root(0))); img0 != img1 {
+				t.Fatalf("lr=%v k=%d: replicas diverge (%d vs %d)", lr, k, img0, img1)
+			}
+			if acked {
+				break
+			}
+		}
+	}
+}
+
+func opts0HeapWords() int { return 1 << 13 }
+
+// TestLRReadersNeverBlockDuringUpdate: a reader running while updates
+// stream must always complete (wait-free reads), and see consistent data.
+func TestLRReadersNeverBlock(t *testing.T) {
+	e, _ := newEngines(t, pmem.StrictMode, true)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(1); i < 3000; i++ {
+			e.Update(func(tx tm.Tx) uint64 {
+				tx.Store(tm.Root(0), i)
+				tx.Store(tm.Root(1), i)
+				return 0
+			})
+		}
+		close(stop)
+	}()
+	reads := 0
+	var torn atomic.Uint64
+	for {
+		select {
+		case <-stop:
+			wg.Wait()
+			if torn.Load() != 0 {
+				t.Fatalf("%d torn LR reads", torn.Load())
+			}
+			if reads == 0 {
+				t.Fatal("no reads completed")
+			}
+			return
+		default:
+		}
+		e.Read(func(tx tm.Tx) uint64 {
+			if tx.Load(tm.Root(0)) != tx.Load(tm.Root(1)) {
+				torn.Add(1)
+			}
+			return 0
+		})
+		reads++
+	}
+}
+
+func TestPanicInBatchRollsBackOnlyThatOp(t *testing.T) {
+	e, _ := newEngines(t, pmem.StrictMode, false)
+	e.Update(func(tx tm.Tx) uint64 {
+		tx.Store(tm.Root(0), 1)
+		return 0
+	})
+	func() {
+		defer func() { _ = recover() }()
+		e.Update(func(tx tm.Tx) uint64 {
+			tx.Store(tm.Root(0), 999)
+			panic("bad op")
+		})
+	}()
+	if got := e.Read(func(tx tm.Tx) uint64 { return tx.Load(tm.Root(0)) }); got != 1 {
+		t.Fatalf("panicked op not rolled back: %d", got)
+	}
+	e.Update(func(tx tm.Tx) uint64 {
+		tx.Store(tm.Root(0), 2)
+		return 0
+	})
+	if got := e.Read(func(tx tm.Tx) uint64 { return tx.Load(tm.Root(0)) }); got != 2 {
+		t.Fatal("engine wedged after batch panic")
+	}
+}

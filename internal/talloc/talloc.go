@@ -1,0 +1,174 @@
+// Package talloc is the transactional heap allocator used by every engine
+// in this repository. It is the Go rendition of the paper's §IV-A design:
+// every word of allocator metadata (free-list heads, the bump pointer,
+// block headers) is an ordinary TM word manipulated through the enclosing
+// transaction's Load/Store, so
+//
+//   - an allocation or free that belongs to a transaction that never
+//     commits simply never happened — no leak, no dangling block, even if
+//     the process crashes mid-transaction (the PTMs recover the metadata
+//     together with the data, because it is the same kind of word);
+//   - helpers replaying a committed write-set replay the allocator updates
+//     too, keeping metadata and data in lock-step.
+//
+// The allocator is a segregated-fit design: thirteen power-of-two size
+// classes with intrusive free lists (a freed block's first payload word is
+// the next-pointer), backed by a bump pointer for virgin space. Blocks are
+// never split or coalesced; for the container workloads in this repository
+// (fixed-size nodes) that is exact-fit behaviour. A one-word header in
+// front of each payload records the size class and an allocated/free tag,
+// which lets Free detect double-frees and wild pointers.
+package talloc
+
+import (
+	"math/bits"
+
+	"onefile/internal/tm"
+)
+
+// NumClasses is the number of power-of-two size classes (payload sizes
+// 1 word .. 4096 words).
+const NumClasses = 13
+
+// MaxPayload is the largest allocatable block, in words.
+const MaxPayload = 1 << (NumClasses - 1)
+
+// MetaBase is the heap word holding the first free-list head. The
+// allocator metadata occupies words [MetaBase, MetaBase+MetaWords).
+const MetaBase tm.Ptr = tm.RootBase + tm.NumRoots
+
+// MetaWords is the size of the allocator metadata area: one free-list head
+// per class, the bump pointer and the heap limit.
+const MetaWords = NumClasses + 2
+
+const (
+	bumpWord = MetaBase + NumClasses     // next virgin word
+	endWord  = MetaBase + NumClasses + 1 // one past the usable heap
+)
+
+// Block header tags. The header word of a block at payload p lives at p-1
+// and holds tag<<8 | class.
+const (
+	allocTag uint64 = 0xA110C8ED00
+	freeTag  uint64 = 0xF4EEB10C00
+	tagMask  uint64 = ^uint64(0xFF)
+)
+
+// InitDirect writes the allocator's initial metadata using a direct store
+// function. It is called once by an engine during single-threaded heap
+// initialisation, before any transaction runs. dynBase is the first word
+// of dynamically allocatable space and heapWords the total heap size.
+func InitDirect(store func(p tm.Ptr, v uint64), dynBase tm.Ptr, heapWords int) {
+	for c := 0; c < NumClasses; c++ {
+		store(MetaBase+tm.Ptr(c), 0)
+	}
+	store(bumpWord, uint64(dynBase))
+	store(endWord, uint64(heapWords))
+}
+
+// classFor returns the smallest size class whose payload holds n words.
+func classFor(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// payloadOf returns the payload size of class c in words.
+func payloadOf(c int) int { return 1 << c }
+
+// Alloc allocates n contiguous zeroed words inside tx and returns the first
+// word. It panics with tm.ErrHeapFull when the request cannot be satisfied;
+// heap exhaustion is a sizing error, not a recoverable condition.
+func Alloc(tx tm.Tx, n int) tm.Ptr {
+	if n <= 0 || n > MaxPayload {
+		panic(tm.ErrHeapFull)
+	}
+	c := classFor(n)
+	size := payloadOf(c)
+	head := MetaBase + tm.Ptr(c)
+	if p := tm.Ptr(tx.Load(head)); p != 0 {
+		// Pop the free list and zero the payload: the block retains
+		// the stale contents (and, crucially, the sequences) of its
+		// previous life, exactly as §IV-A requires of reused NVM.
+		tx.Store(head, tx.Load(p))
+		tx.Store(p-1, allocTag|uint64(c))
+		for i := 0; i < size; i++ {
+			tx.Store(p+tm.Ptr(i), 0)
+		}
+		return p
+	}
+	// Virgin space: already zero, only the header needs writing.
+	bump := tm.Ptr(tx.Load(bumpWord))
+	end := tm.Ptr(tx.Load(endWord))
+	if bump+tm.Ptr(size)+1 > end {
+		panic(tm.ErrHeapFull)
+	}
+	tx.Store(bumpWord, uint64(bump+tm.Ptr(size)+1))
+	tx.Store(bump, allocTag|uint64(c))
+	return bump + 1
+}
+
+// Free releases the block whose payload starts at p, inside tx. It panics
+// with tm.ErrBadFree if p is not the payload of a live allocated block
+// (double free, wild pointer, interior pointer).
+func Free(tx tm.Tx, p tm.Ptr) {
+	if p <= MetaBase+MetaWords {
+		panic(tm.ErrBadFree)
+	}
+	hdr := tx.Load(p - 1)
+	if hdr&tagMask != allocTag {
+		panic(tm.ErrBadFree)
+	}
+	c := int(hdr &^ tagMask)
+	if c >= NumClasses {
+		panic(tm.ErrBadFree)
+	}
+	head := MetaBase + tm.Ptr(c)
+	tx.Store(p-1, freeTag|uint64(c))
+	tx.Store(p, tx.Load(head))
+	tx.Store(head, uint64(p))
+}
+
+// BlockClass reports the size class and liveness of the block whose payload
+// starts at p, using reads through tx. It is an auditing aid for leak
+// checkers and tests.
+func BlockClass(tx tm.Tx, p tm.Ptr) (class int, allocated, ok bool) {
+	hdr := tx.Load(p - 1)
+	switch hdr & tagMask {
+	case allocTag:
+		return int(hdr &^ tagMask), true, true
+	case freeTag:
+		return int(hdr &^ tagMask), false, true
+	}
+	return 0, false, false
+}
+
+// Audit walks the heap from dynBase to the bump pointer, verifying that it
+// tiles exactly into valid blocks, and returns the number of words in
+// allocated blocks (payload+header) and free blocks. Tests use it to prove
+// that crashes never leak or corrupt the heap. Must run inside a tx (or a
+// quiescent direct reader implementing tm.Tx).
+func Audit(tx tm.Tx, dynBase tm.Ptr) (allocWords, freeWords uint64, ok bool) {
+	bump := tm.Ptr(tx.Load(bumpWord))
+	p := dynBase
+	for p < bump {
+		hdr := tx.Load(p)
+		tag := hdr & tagMask
+		if tag != allocTag && tag != freeTag {
+			return 0, 0, false
+		}
+		c := int(hdr &^ tagMask)
+		if c >= NumClasses {
+			return 0, 0, false
+		}
+		n := uint64(payloadOf(c)) + 1
+		if tag == allocTag {
+			allocWords += n
+		} else {
+			freeWords += n
+		}
+		p += tm.Ptr(n)
+	}
+	return allocWords, freeWords, p == bump
+}

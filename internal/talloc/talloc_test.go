@@ -1,0 +1,235 @@
+package talloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"onefile/internal/tm"
+)
+
+// plainTx is a direct, single-threaded tm.Tx over a word slice, letting the
+// allocator be tested in isolation from any engine.
+type plainTx struct {
+	words []uint64
+}
+
+func newPlainTx(heapWords int) *plainTx {
+	tx := &plainTx{words: make([]uint64, heapWords)}
+	dyn := MetaBase + MetaWords
+	InitDirect(func(p tm.Ptr, v uint64) { tx.words[p] = v }, dyn, heapWords)
+	return tx
+}
+
+func (t *plainTx) Load(p tm.Ptr) uint64     { return t.words[p] }
+func (t *plainTx) Store(p tm.Ptr, v uint64) { t.words[p] = v }
+func (t *plainTx) Alloc(n int) tm.Ptr       { return Alloc(t, n) }
+func (t *plainTx) Free(p tm.Ptr)            { Free(t, p) }
+
+func dynBase() tm.Ptr { return MetaBase + MetaWords }
+
+func TestClassFor(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 4096: 12}
+	for n, want := range cases {
+		if got := classFor(n); got != want {
+			t.Errorf("classFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestAllocZeroedAndDistinct(t *testing.T) {
+	tx := newPlainTx(1 << 16)
+	seen := map[tm.Ptr]bool{}
+	for i := 0; i < 100; i++ {
+		p := Alloc(tx, 3)
+		if seen[p] {
+			t.Fatalf("Alloc returned duplicate pointer %d", p)
+		}
+		seen[p] = true
+		for j := tm.Ptr(0); j < 3; j++ {
+			if tx.Load(p+j) != 0 {
+				t.Fatalf("block %d word %d not zero", p, j)
+			}
+			tx.Store(p+j, uint64(p)) // dirty for later reuse checks
+		}
+	}
+}
+
+func TestFreeAndReuseSameClass(t *testing.T) {
+	tx := newPlainTx(1 << 16)
+	p := Alloc(tx, 8)
+	tx.Store(p, 123)
+	Free(tx, p)
+	q := Alloc(tx, 7) // same class (8 words)
+	if q != p {
+		t.Fatalf("Alloc after Free = %d, want %d", q, p)
+	}
+	if tx.Load(q) != 0 {
+		t.Fatal("recycled block not zeroed")
+	}
+}
+
+func TestFreeListIsLIFO(t *testing.T) {
+	tx := newPlainTx(1 << 16)
+	a := Alloc(tx, 2)
+	b := Alloc(tx, 2)
+	Free(tx, a)
+	Free(tx, b)
+	if got := Alloc(tx, 2); got != b {
+		t.Fatalf("first realloc = %d, want %d (LIFO)", got, b)
+	}
+	if got := Alloc(tx, 2); got != a {
+		t.Fatalf("second realloc = %d, want %d", got, a)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	tx := newPlainTx(1 << 16)
+	p := Alloc(tx, 2)
+	Free(tx, p)
+	defer func() {
+		if r := recover(); r != tm.ErrBadFree {
+			t.Fatalf("recover() = %v, want ErrBadFree", r)
+		}
+	}()
+	Free(tx, p)
+}
+
+func TestWildFreePanics(t *testing.T) {
+	tx := newPlainTx(1 << 16)
+	p := Alloc(tx, 8)
+	defer func() {
+		if r := recover(); r != tm.ErrBadFree {
+			t.Fatalf("recover() = %v, want ErrBadFree", r)
+		}
+	}()
+	Free(tx, p+1) // interior pointer
+}
+
+func TestFreeNilPanics(t *testing.T) {
+	tx := newPlainTx(1 << 16)
+	defer func() {
+		if r := recover(); r != tm.ErrBadFree {
+			t.Fatalf("recover() = %v, want ErrBadFree", r)
+		}
+	}()
+	Free(tx, 0)
+}
+
+func TestHeapFullPanics(t *testing.T) {
+	tx := newPlainTx(int(dynBase()) + 64)
+	defer func() {
+		if r := recover(); r != tm.ErrHeapFull {
+			t.Fatalf("recover() = %v, want ErrHeapFull", r)
+		}
+	}()
+	for {
+		Alloc(tx, 16)
+	}
+}
+
+func TestOversizeAllocPanics(t *testing.T) {
+	tx := newPlainTx(1 << 16)
+	defer func() {
+		if r := recover(); r != tm.ErrHeapFull {
+			t.Fatalf("recover() = %v, want ErrHeapFull", r)
+		}
+	}()
+	Alloc(tx, MaxPayload+1)
+}
+
+func TestBlockClass(t *testing.T) {
+	tx := newPlainTx(1 << 16)
+	p := Alloc(tx, 5)
+	c, allocated, ok := BlockClass(tx, p)
+	if !ok || !allocated || c != 3 {
+		t.Fatalf("BlockClass = (%d,%v,%v), want (3,true,true)", c, allocated, ok)
+	}
+	Free(tx, p)
+	if _, allocated, ok := BlockClass(tx, p); !ok || allocated {
+		t.Fatalf("freed block class = (%v,%v)", allocated, ok)
+	}
+}
+
+func TestAuditTiles(t *testing.T) {
+	tx := newPlainTx(1 << 16)
+	var live []tm.Ptr
+	for i := 1; i <= 40; i++ {
+		live = append(live, Alloc(tx, i%9+1))
+	}
+	for i, p := range live {
+		if i%2 == 0 {
+			Free(tx, p)
+		}
+	}
+	allocW, freeW, ok := Audit(tx, dynBase())
+	if !ok {
+		t.Fatal("audit failed to tile the heap")
+	}
+	if allocW == 0 || freeW == 0 {
+		t.Fatalf("audit: alloc=%d free=%d, expected both nonzero", allocW, freeW)
+	}
+}
+
+// TestQuickNoOverlap property: any sequence of allocations yields
+// non-overlapping blocks that all fit in the heap.
+func TestQuickNoOverlap(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		tx := newPlainTx(1 << 18)
+		type blk struct {
+			p tm.Ptr
+			n int
+		}
+		var blocks []blk
+		for _, s := range sizes {
+			n := int(s)%64 + 1
+			p := Alloc(tx, n)
+			blocks = append(blocks, blk{p, n})
+		}
+		for i, a := range blocks {
+			for j, b := range blocks {
+				if i == j {
+					continue
+				}
+				if a.p < b.p+tm.Ptr(b.n) && b.p < a.p+tm.Ptr(a.n) {
+					return false
+				}
+			}
+		}
+		_, _, ok := Audit(tx, dynBase())
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAllocFreeAudit property: random interleavings of alloc and free
+// always leave a heap that audits clean, and allocated words equal the live
+// set.
+func TestQuickAllocFreeAudit(t *testing.T) {
+	f := func(ops []uint16) bool {
+		tx := newPlainTx(1 << 18)
+		var live []tm.Ptr
+		liveWords := uint64(0)
+		for _, op := range ops {
+			if op%3 != 0 || len(live) == 0 {
+				n := int(op)%32 + 1
+				p := Alloc(tx, n)
+				live = append(live, p)
+				liveWords += uint64(payloadOf(classFor(n))) + 1
+			} else {
+				i := int(op) % len(live)
+				p := live[i]
+				c, _, _ := BlockClass(tx, p)
+				Free(tx, p)
+				live = append(live[:i], live[i+1:]...)
+				liveWords -= uint64(payloadOf(c)) + 1
+			}
+		}
+		allocW, _, ok := Audit(tx, dynBase())
+		return ok && allocW == liveWords
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

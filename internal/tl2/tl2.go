@@ -1,0 +1,459 @@
+// Package tl2 implements the lock-based software transactional memory used
+// as the volatile baseline of the paper's evaluation (§V-A): a TL2/TinySTM
+// style word-based STM with a global version clock, striped versioned
+// write-locks, a redo write-set and a validated read-set.
+//
+// Two personalities are provided over the same machinery:
+//
+//   - New (name "TinySTM"): commit-time locking with full read-set
+//     validation, as in TL2/TinySTM's write-back mode.
+//   - NewElastic (name "ESTM"): an elastic-transaction approximation — while
+//     a transaction has not yet written, its read-set is a sliding window of
+//     the last two reads, each new read revalidating the window. This gives
+//     search-structure traversals the "cut into sub-transactions" behaviour
+//     that elastic transactions are designed for, at the cost of opacity
+//     only for the dropped prefix (safe for the search workloads it is used
+//     with, and the property the paper's comparison exercises).
+//
+// Progress is blocking by design — that is the baseline's defining
+// characteristic against OneFile.
+package tl2
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"onefile/internal/talloc"
+	"onefile/internal/tm"
+)
+
+const (
+	nStripes         = 1 << 16
+	elasticWindow    = 2
+	spinsBeforeYield = 64
+)
+
+// lock word: version<<1 when free, owner<<1|1 when held.
+func lockedBy(owner int) uint64  { return uint64(owner)<<1 | 1 }
+func isLocked(l uint64) bool     { return l&1 == 1 }
+func versionOf(l uint64) uint64  { return l >> 1 }
+func freeWith(ver uint64) uint64 { return ver << 1 }
+
+type abortSignal struct{}
+
+type readEntry struct {
+	stripe uint32
+	lockV  uint64 // exact lock word observed at read time
+}
+
+type writeEntry struct {
+	addr uint64
+	val  uint64
+	next int32
+}
+
+// Engine is a TL2/TinySTM-style STM over a word-addressed heap.
+type Engine struct {
+	cfg     tm.Config
+	elastic bool
+
+	words   []atomic.Uint64
+	locks   []atomic.Uint64
+	clock   atomic.Uint64
+	ctxs    []txCtx
+	claim   []atomic.Uint32
+	hint    atomic.Uint32
+	dynBase tm.Ptr
+
+	commits     atomic.Uint64
+	aborts      atomic.Uint64
+	readCommits atomic.Uint64
+	readAborts  atomic.Uint64
+	casCount    atomic.Uint64
+}
+
+var _ tm.Engine = (*Engine)(nil)
+
+// txCtx is one slot's reusable transaction state.
+type txCtx struct {
+	id      int
+	reads   []readEntry
+	writes  []writeEntry
+	buckets []int32
+	bver    []uint32
+	ver     uint32
+	mask    uint32
+	window  [elasticWindow]readEntry
+	wlen    int
+	stripes []uint32 // stripes locked at commit
+	saved   []uint64 // lock words observed when acquiring those stripes
+}
+
+// New creates the TinySTM-personality engine.
+func New(opts ...tm.Option) *Engine { return newEngine(false, opts) }
+
+// NewElastic creates the ESTM-personality engine.
+func NewElastic(opts ...tm.Option) *Engine { return newEngine(true, opts) }
+
+func newEngine(elastic bool, opts []tm.Option) *Engine {
+	cfg := tm.Apply(opts)
+	e := &Engine{
+		cfg:     cfg,
+		elastic: elastic,
+		words:   make([]atomic.Uint64, cfg.HeapWords),
+		locks:   make([]atomic.Uint64, nStripes),
+		ctxs:    make([]txCtx, cfg.MaxThreads),
+		claim:   make([]atomic.Uint32, cfg.MaxThreads),
+		dynBase: talloc.MetaBase + talloc.MetaWords,
+	}
+	nb := 1
+	for nb < 2*cfg.MaxStores {
+		nb <<= 1
+	}
+	for i := range e.ctxs {
+		c := &e.ctxs[i]
+		c.id = i
+		c.buckets = make([]int32, nb)
+		c.bver = make([]uint32, nb)
+		c.mask = uint32(nb - 1)
+	}
+	e.clock.Store(1)
+	talloc.InitDirect(func(p tm.Ptr, v uint64) { e.words[p].Store(v) }, e.dynBase, cfg.HeapWords)
+	return e
+}
+
+// Name implements tm.Engine.
+func (e *Engine) Name() string {
+	if e.elastic {
+		return "ESTM"
+	}
+	return "TinySTM"
+}
+
+// Stats implements tm.Engine.
+func (e *Engine) Stats() tm.Stats {
+	return tm.Stats{
+		Commits:     e.commits.Load(),
+		Aborts:      e.aborts.Load(),
+		ReadCommits: e.readCommits.Load(),
+		ReadAborts:  e.readAborts.Load(),
+		CAS:         e.casCount.Load(),
+	}
+}
+
+// Close implements tm.Engine.
+func (e *Engine) Close() error { return nil }
+
+// DynBase returns the first dynamically allocatable word (audit aid).
+func (e *Engine) DynBase() tm.Ptr { return e.dynBase }
+
+func (e *Engine) acquire() *txCtx {
+	n := len(e.ctxs)
+	start := int(e.hint.Add(1))
+	for {
+		for i := 0; i < n; i++ {
+			j := (start + i) % n
+			if e.claim[j].Load() == 0 && e.claim[j].CompareAndSwap(0, 1) {
+				return &e.ctxs[j]
+			}
+		}
+		runtime.Gosched()
+	}
+}
+
+func (e *Engine) release(c *txCtx) { e.claim[c.id].Store(0) }
+
+func stripeOf(addr uint64) uint32 {
+	addr *= 0x9E3779B97F4A7C15
+	return uint32(addr>>40) & (nStripes - 1)
+}
+
+func catchAbort(f func()) (aborted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortSignal); ok {
+				aborted = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	f()
+	return false
+}
+
+// Update implements tm.Engine.
+func (e *Engine) Update(fn func(tx tm.Tx) uint64) uint64 {
+	c := e.acquire()
+	defer e.release(c)
+	for {
+		rv := e.clock.Load()
+		tx := uTx{e: e, c: c, rv: rv}
+		c.resetTx()
+		var res uint64
+		if catchAbort(func() { res = fn(&tx) }) {
+			e.aborts.Add(1)
+			continue
+		}
+		if len(c.writes) == 0 {
+			e.readCommits.Add(1)
+			return res
+		}
+		if !e.commit(c, rv) {
+			e.aborts.Add(1)
+			continue
+		}
+		e.commits.Add(1)
+		return res
+	}
+}
+
+// Read implements tm.Engine: TL2-style invisible read-only transactions.
+func (e *Engine) Read(fn func(tx tm.Tx) uint64) uint64 {
+	for {
+		rv := e.clock.Load()
+		tx := rTx{e: e, rv: rv}
+		var res uint64
+		if !catchAbort(func() { res = fn(&tx) }) {
+			e.readCommits.Add(1)
+			return res
+		}
+		e.readAborts.Add(1)
+	}
+}
+
+// commit performs TL2 commit: lock the write stripes, bump the clock,
+// validate the read-set, write back, release with the new version.
+func (e *Engine) commit(c *txCtx, rv uint64) bool {
+	c.stripes = c.stripes[:0]
+	// Collect distinct stripes (small sets: linear dedup).
+	for i := range c.writes {
+		s := stripeOf(c.writes[i].addr)
+		dup := false
+		for _, t := range c.stripes {
+			if t == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			c.stripes = append(c.stripes, s)
+		}
+	}
+	locked := 0
+	ok := true
+	c.saved = c.saved[:0]
+	for _, s := range c.stripes {
+		l := e.locks[s].Load()
+		e.casCount.Add(1)
+		if isLocked(l) || !e.locks[s].CompareAndSwap(l, lockedBy(c.id)) {
+			ok = false
+			break
+		}
+		c.saved = append(c.saved, l)
+		locked++
+	}
+	if ok {
+		// Validate the read-set: every observed lock word must be
+		// unchanged — or locked by us, in which case it must have been
+		// unchanged at the moment we acquired it (the saved word).
+		mine := lockedBy(c.id)
+		for i := range c.reads {
+			r := &c.reads[i]
+			l := e.locks[r.stripe].Load()
+			if l == r.lockV {
+				continue
+			}
+			if l != mine {
+				ok = false
+				break
+			}
+			ok = false
+			for j, s := range c.stripes[:locked] {
+				if s == r.stripe {
+					ok = c.saved[j] == r.lockV
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+	}
+	if !ok {
+		for i := 0; i < locked; i++ {
+			e.locks[c.stripes[i]].Store(c.saved[i])
+		}
+		return false
+	}
+	wv := e.clock.Add(1)
+	for i := range c.writes {
+		e.words[c.writes[i].addr].Store(c.writes[i].val)
+	}
+	for i := 0; i < locked; i++ {
+		e.locks[c.stripes[i]].Store(freeWith(wv))
+	}
+	return true
+}
+
+// --- per-transaction context management ---
+
+func (c *txCtx) resetTx() {
+	c.reads = c.reads[:0]
+	c.writes = c.writes[:0]
+	c.wlen = 0
+	c.ver++
+	if c.ver == 0 {
+		clear(c.bver)
+		c.ver = 1
+	}
+}
+
+func (c *txCtx) bucket(addr uint64) *int32 {
+	h := addr * 0x9E3779B97F4A7C15
+	b := uint32(h>>33) & c.mask
+	if c.bver[b] != c.ver {
+		c.bver[b] = c.ver
+		c.buckets[b] = -1
+	}
+	return &c.buckets[b]
+}
+
+func (c *txCtx) wsLookup(addr uint64) (uint64, bool) {
+	if len(c.writes) <= 40 {
+		for i := range c.writes {
+			if c.writes[i].addr == addr {
+				return c.writes[i].val, true
+			}
+		}
+		return 0, false
+	}
+	for i := *c.bucket(addr); i >= 0; i = c.writes[i].next {
+		if c.writes[i].addr == addr {
+			return c.writes[i].val, true
+		}
+	}
+	return 0, false
+}
+
+func (c *txCtx) wsAdd(addr, val uint64) {
+	if len(c.writes) <= 40 {
+		for i := range c.writes {
+			if c.writes[i].addr == addr {
+				c.writes[i].val = val
+				return
+			}
+		}
+		c.writes = append(c.writes, writeEntry{addr: addr, val: val, next: -1})
+		if len(c.writes) == 41 {
+			for i := range c.writes {
+				b := c.bucket(c.writes[i].addr)
+				c.writes[i].next = *b
+				*b = int32(i)
+			}
+		}
+		return
+	}
+	for i := *c.bucket(addr); i >= 0; i = c.writes[i].next {
+		if c.writes[i].addr == addr {
+			c.writes[i].val = val
+			return
+		}
+	}
+	c.writes = append(c.writes, writeEntry{addr: addr, val: val, next: -1})
+	i := int32(len(c.writes) - 1)
+	b := c.bucket(addr)
+	c.writes[i].next = *b
+	*b = i
+}
+
+// --- transaction handles ---
+
+type uTx struct {
+	e  *Engine
+	c  *txCtx
+	rv uint64
+}
+
+var _ tm.Tx = (*uTx)(nil)
+
+// readWord performs the TL2 two-phase read of one heap word.
+func (e *Engine) readWord(addr uint64, rv uint64, owner int) (val, lockV uint64) {
+	s := stripeOf(addr)
+	for spin := 0; ; spin++ {
+		l1 := e.locks[s].Load()
+		if isLocked(l1) {
+			if owner >= 0 && l1 == lockedBy(owner) {
+				return e.words[addr].Load(), l1
+			}
+			panic(abortSignal{})
+		}
+		if versionOf(l1) > rv {
+			panic(abortSignal{})
+		}
+		v := e.words[addr].Load()
+		if e.locks[s].Load() == l1 {
+			return v, l1
+		}
+		if spin > spinsBeforeYield {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (t *uTx) Load(p tm.Ptr) uint64 {
+	addr := uint64(p)
+	if v, ok := t.c.wsLookup(addr); ok {
+		return v
+	}
+	v, l := t.e.readWord(addr, t.rv, t.c.id)
+	re := readEntry{stripe: stripeOf(addr), lockV: l}
+	if t.e.elastic && len(t.c.writes) == 0 {
+		// Elastic mode: before the first write the read-set is a sliding
+		// window; each read revalidates the window, then the oldest
+		// entry is released (the traversal "cuts" here).
+		for i := 0; i < t.c.wlen; i++ {
+			if t.e.locks[t.c.window[i].stripe].Load() != t.c.window[i].lockV {
+				panic(abortSignal{})
+			}
+		}
+		if t.c.wlen == elasticWindow {
+			copy(t.c.window[:], t.c.window[1:])
+			t.c.wlen--
+		}
+		t.c.window[t.c.wlen] = re
+		t.c.wlen++
+		return v
+	}
+	t.c.reads = append(t.c.reads, re)
+	return v
+}
+
+func (t *uTx) Store(p tm.Ptr, v uint64) {
+	if t.e.elastic && len(t.c.writes) == 0 && t.c.wlen > 0 {
+		// Transition out of elastic mode: the window becomes the
+		// permanent read-set prefix.
+		t.c.reads = append(t.c.reads, t.c.window[:t.c.wlen]...)
+		t.c.wlen = 0
+	}
+	t.c.wsAdd(uint64(p), v)
+}
+
+func (t *uTx) Alloc(n int) tm.Ptr { return talloc.Alloc(t, n) }
+func (t *uTx) Free(p tm.Ptr)      { talloc.Free(t, p) }
+
+type rTx struct {
+	e  *Engine
+	rv uint64
+}
+
+var _ tm.Tx = (*rTx)(nil)
+
+func (t *rTx) Load(p tm.Ptr) uint64 {
+	v, _ := t.e.readWord(uint64(p), t.rv, -1)
+	return v
+}
+
+func (t *rTx) Store(tm.Ptr, uint64) { panic(tm.ErrUpdateInReadTx) }
+func (t *rTx) Alloc(int) tm.Ptr     { panic(tm.ErrUpdateInReadTx) }
+func (t *rTx) Free(tm.Ptr)          { panic(tm.ErrUpdateInReadTx) }

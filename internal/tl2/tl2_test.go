@@ -1,0 +1,179 @@
+package tl2
+
+import (
+	"sync"
+	"testing"
+
+	"onefile/internal/tm"
+)
+
+func opts() []tm.Option {
+	return []tm.Option{
+		tm.WithHeapWords(1 << 14),
+		tm.WithMaxThreads(8),
+		tm.WithMaxStores(1 << 10),
+	}
+}
+
+func TestLockWordEncoding(t *testing.T) {
+	l := lockedBy(5)
+	if !isLocked(l) {
+		t.Fatal("lockedBy not locked")
+	}
+	f := freeWith(42)
+	if isLocked(f) || versionOf(f) != 42 {
+		t.Fatalf("freeWith broken: %v %d", isLocked(f), versionOf(f))
+	}
+}
+
+func TestNames(t *testing.T) {
+	if New(opts()...).Name() != "TinySTM" {
+		t.Fatal("TinySTM name")
+	}
+	if NewElastic(opts()...).Name() != "ESTM" {
+		t.Fatal("ESTM name")
+	}
+}
+
+func TestWriteBackVisibility(t *testing.T) {
+	e := New(opts()...)
+	e.Update(func(tx tm.Tx) uint64 {
+		tx.Store(tm.Root(0), 5)
+		// Buffered: globally invisible until commit, visible to self.
+		if tx.Load(tm.Root(0)) != 5 {
+			t.Error("read-own-write failed")
+		}
+		return 0
+	})
+	if e.Read(func(tx tm.Tx) uint64 { return tx.Load(tm.Root(0)) }) != 5 {
+		t.Fatal("committed write invisible")
+	}
+}
+
+// TestConflictAborts: two transactions racing on one word must serialise
+// with at least one abort under sustained contention.
+func TestConflictAborts(t *testing.T) {
+	e := New(opts()...)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				e.Update(func(tx tm.Tx) uint64 {
+					tx.Store(tm.Root(0), tx.Load(tm.Root(0))+1)
+					return 0
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := e.Read(func(tx tm.Tx) uint64 { return tx.Load(tm.Root(0)) }); got != 2000 {
+		t.Fatalf("counter = %d", got)
+	}
+}
+
+// TestElasticTraversalDoesNotAbortOnOldReads: a long read prefix followed
+// by a localised update should commit even when unrelated early-read words
+// change concurrently — the elastic property.
+func TestElasticTraversalDoesNotAbortOnOldReads(t *testing.T) {
+	e := NewElastic(opts()...)
+	// Build a 200-word chain.
+	base := tm.Ptr(e.Update(func(tx tm.Tx) uint64 {
+		b := tx.Alloc(200)
+		tx.Store(tm.Root(0), uint64(b))
+		return uint64(b)
+	}))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Continuously modify the first word (read early by the scan).
+		for i := 0; i < 3000; i++ {
+			e.Update(func(tx tm.Tx) uint64 {
+				tx.Store(base, tx.Load(base)+1)
+				return 0
+			})
+		}
+	}()
+	before := e.Stats()
+	for i := 0; i < 200; i++ {
+		e.Update(func(tx tm.Tx) uint64 {
+			// Long traversal, then a single write at the end.
+			var sink uint64
+			for j := 0; j < 199; j++ {
+				sink += tx.Load(base + tm.Ptr(j))
+			}
+			tx.Store(base+199, sink)
+			return 0
+		})
+	}
+	<-done
+	d := e.Stats().Sub(before)
+	// With a full read-set this workload aborts nearly every scan; the
+	// elastic window keeps the abort count far below the commit count.
+	if d.Aborts > d.Commits {
+		t.Fatalf("elastic mode aborted too much: %d aborts, %d commits", d.Aborts, d.Commits)
+	}
+}
+
+// TestElasticStillSerialisesWrites: elasticity must not break write
+// atomicity.
+func TestElasticStillSerialisesWrites(t *testing.T) {
+	e := NewElastic(opts()...)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				e.Update(func(tx tm.Tx) uint64 {
+					x := tx.Load(tm.Root(0))
+					y := tx.Load(tm.Root(1))
+					tx.Store(tm.Root(0), x+1)
+					tx.Store(tm.Root(1), y+1)
+					return 0
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	a := e.Read(func(tx tm.Tx) uint64 { return tx.Load(tm.Root(0)) })
+	b := e.Read(func(tx tm.Tx) uint64 { return tx.Load(tm.Root(1)) })
+	if a != 1200 || b != 1200 {
+		t.Fatalf("counters = %d,%d want 1200,1200", a, b)
+	}
+}
+
+func TestReadOnlySnapshotConsistent(t *testing.T) {
+	e := New(opts()...)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < 2000; i++ {
+			e.Update(func(tx tm.Tx) uint64 {
+				tx.Store(tm.Root(0), i)
+				tx.Store(tm.Root(1), i)
+				return 0
+			})
+		}
+		close(stop)
+	}()
+	for {
+		select {
+		case <-stop:
+			wg.Wait()
+			return
+		default:
+		}
+		e.Read(func(tx tm.Tx) uint64 {
+			a := tx.Load(tm.Root(0))
+			b := tx.Load(tm.Root(1))
+			if a != b {
+				t.Errorf("torn read-only snapshot: %d vs %d", a, b)
+			}
+			return 0
+		})
+	}
+}

@@ -1,0 +1,66 @@
+package tm
+
+// Config collects the sizing knobs shared by all engines. The zero value is
+// not usable; call DefaultConfig and override fields through Options.
+type Config struct {
+	// HeapWords is the number of 64-bit words in the transactional heap,
+	// including the reserved nil word and the root slots.
+	HeapWords int
+	// MaxThreads is the number of concurrent transaction slots. It bounds
+	// how many goroutines can be inside a transaction at once.
+	MaxThreads int
+	// MaxStores is the per-transaction write-set capacity.
+	MaxStores int
+	// ReadTries is the number of optimistic attempts a read-only
+	// transaction makes before escalating (wait-free engines publish the
+	// operation; others keep retrying).
+	ReadTries int
+}
+
+// DefaultConfig returns the sizing used when no options are given:
+// a 4Mi-word (32 MiB) heap, 128 thread slots, 16Ki-store write-sets and
+// 4 optimistic read attempts (the paper's value).
+func DefaultConfig() Config {
+	return Config{
+		HeapWords:  1 << 22,
+		MaxThreads: 128,
+		MaxStores:  1 << 14,
+		ReadTries:  4,
+	}
+}
+
+// Option customises a Config.
+type Option func(*Config)
+
+// WithHeapWords sets the transactional heap size in 64-bit words.
+func WithHeapWords(n int) Option { return func(c *Config) { c.HeapWords = n } }
+
+// WithMaxThreads sets the number of concurrent transaction slots.
+func WithMaxThreads(n int) Option { return func(c *Config) { c.MaxThreads = n } }
+
+// WithMaxStores sets the per-transaction write-set capacity.
+func WithMaxStores(n int) Option { return func(c *Config) { c.MaxStores = n } }
+
+// WithReadTries sets the optimistic read-only attempt budget.
+func WithReadTries(n int) Option { return func(c *Config) { c.ReadTries = n } }
+
+// Apply returns DefaultConfig modified by opts, validating the result.
+func Apply(opts []Option) Config {
+	c := DefaultConfig()
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.HeapWords < int(RootBase)+NumRoots+64 {
+		panic("tm: heap too small")
+	}
+	if c.MaxThreads < 1 || c.MaxThreads > 1024 {
+		panic("tm: MaxThreads must be in [1,1024]")
+	}
+	if c.MaxStores < 1 {
+		panic("tm: MaxStores must be positive")
+	}
+	if c.ReadTries < 1 {
+		panic("tm: ReadTries must be positive")
+	}
+	return c
+}

@@ -1,0 +1,136 @@
+// Package tm defines the engine-neutral transactional-memory interface
+// shared by every STM and PTM in this repository.
+//
+// All engines manage a word-addressed transactional heap: a Ptr is an index
+// of a 64-bit word inside that heap, and every datum a transaction touches —
+// user data, container nodes, allocator metadata, root slots — is such a
+// word. Storing a Ptr into a word is how containers build linked structures,
+// which makes the heap position-independent and lets the persistent engines
+// map it directly onto the emulated NVM device.
+//
+// The first word (Ptr 0) is reserved so that 0 can serve as the nil pointer,
+// and the following NumRoots words are root slots that survive restarts of a
+// persistent engine.
+package tm
+
+import "errors"
+
+// Ptr is the index of a 64-bit word in an engine's transactional heap.
+// Ptr 0 is the nil pointer and is never returned by an allocator.
+type Ptr uint64
+
+// NumRoots is the number of reserved root slots in every engine's heap.
+// Root slots are ordinary transactional words located at fixed positions,
+// so persistent engines recover them after a crash.
+const NumRoots = 64
+
+// RootBase is the heap word index of root slot 0.
+const RootBase Ptr = 1
+
+// Root returns the heap word that backs root slot i.
+func Root(i int) Ptr {
+	if i < 0 || i >= NumRoots {
+		panic("tm: root slot out of range")
+	}
+	return RootBase + Ptr(i)
+}
+
+// Tx is the handle a transaction body uses to access the transactional heap.
+// A Tx is only valid for the duration of the function invocation it was
+// passed to; bodies must not retain it.
+//
+// Transaction bodies may run more than once (optimistic engines retry after
+// conflicts, and the wait-free engines may execute a body on a helper
+// thread), so bodies must be side-effect free except through the Tx itself.
+type Tx interface {
+	// Load returns the current value of the heap word p.
+	Load(p Ptr) uint64
+	// Store sets the value of the heap word p.
+	Store(p Ptr, v uint64)
+	// Alloc allocates a block of n contiguous heap words inside the
+	// transaction and returns the first word. The block is zeroed.
+	// If the transaction does not commit the allocation never happened.
+	Alloc(n int) Ptr
+	// Free releases a block previously returned by Alloc, inside the
+	// transaction. If the transaction does not commit the block remains
+	// allocated.
+	Free(p Ptr)
+}
+
+// Engine is a transactional-memory engine: four OneFile variants and four
+// baseline engines implement it. Engines are safe for concurrent use.
+type Engine interface {
+	// Update runs fn as a read-write (mutative) transaction and returns
+	// fn's result. fn may run multiple times and, on the wait-free
+	// engines, possibly on another goroutine.
+	Update(fn func(tx Tx) uint64) uint64
+	// Read runs fn as a read-only transaction and returns fn's result.
+	// fn must not call Store, Alloc or Free; engines report misuse by
+	// panicking with ErrUpdateInReadTx.
+	Read(fn func(tx Tx) uint64) uint64
+	// Name identifies the engine in benchmark output (e.g. "OF-LF").
+	Name() string
+	// Stats returns a snapshot of the engine's operation counters.
+	Stats() Stats
+	// Close releases engine resources. The engine must be idle.
+	Close() error
+}
+
+// Persistent is implemented by the PTM engines.
+type Persistent interface {
+	Engine
+	// Recover re-attaches the engine to its persistence domain after a
+	// crash, completing any committed-but-unapplied transaction (for
+	// OneFile this is "null recovery": the regular helping path).
+	Recover() error
+}
+
+// Errors reported by engines. Misuse errors are delivered by panicking,
+// following the convention of the standard library for programming errors.
+var (
+	// ErrUpdateInReadTx reports a Store/Alloc/Free inside a read-only
+	// transaction.
+	ErrUpdateInReadTx = errors.New("tm: mutation inside read-only transaction")
+	// ErrHeapFull reports that an allocation could not be satisfied.
+	ErrHeapFull = errors.New("tm: transactional heap exhausted")
+	// ErrBadFree reports a Free of a pointer that is not the start of a
+	// live allocated block.
+	ErrBadFree = errors.New("tm: free of invalid pointer")
+	// ErrTooManyStores reports a transaction exceeding the per-transaction
+	// write-set capacity.
+	ErrTooManyStores = errors.New("tm: transaction write-set overflow")
+	// ErrNoThreadSlot reports that more goroutines entered transactions
+	// concurrently than the engine was configured for.
+	ErrNoThreadSlot = errors.New("tm: no free thread slot (raise MaxThreads)")
+)
+
+// Stats is a snapshot of engine activity counters. Persistence counters are
+// zero for the volatile engines.
+type Stats struct {
+	Commits      uint64 // committed update transactions
+	Aborts       uint64 // aborted+retried transaction bodies
+	ReadCommits  uint64 // completed read-only transactions
+	ReadAborts   uint64 // read-only validation failures (retries)
+	Helps        uint64 // apply phases executed on behalf of another tx
+	CAS          uint64 // single-word CAS operations on shared TM state
+	DCAS         uint64 // double-word CAS operations (TM word applies)
+	Pwb          uint64 // persistent write-backs issued
+	Pfence       uint64 // persistent fences issued
+	AggregatedOp uint64 // operations executed via wait-free aggregation
+}
+
+// Sub returns the counter-wise difference s - o.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Commits:      s.Commits - o.Commits,
+		Aborts:       s.Aborts - o.Aborts,
+		ReadCommits:  s.ReadCommits - o.ReadCommits,
+		ReadAborts:   s.ReadAborts - o.ReadAborts,
+		Helps:        s.Helps - o.Helps,
+		CAS:          s.CAS - o.CAS,
+		DCAS:         s.DCAS - o.DCAS,
+		Pwb:          s.Pwb - o.Pwb,
+		Pfence:       s.Pfence - o.Pfence,
+		AggregatedOp: s.AggregatedOp - o.AggregatedOp,
+	}
+}

@@ -1,0 +1,476 @@
+// Package undolog implements the PMDK-style persistent transactional
+// memory used as a baseline in the paper's NVM evaluation (§V-B): a
+// blocking, write-ahead undo-log PTM with eager striped locking.
+//
+// Each store inside a transaction first appends (address, old value) to the
+// thread's undo log in NVM and persists the entry — the write-ahead rule —
+// then updates the word in place. Commit persists the modified words and
+// truncates the log; abort (validation failure or lock timeout) rolls the
+// in-place updates back from the log. Recovery after a crash rolls back any
+// non-truncated log, which yields all-or-nothing transactions: a
+// transaction is durably committed exactly when its log truncation is.
+//
+// The per-store persistence traffic (one pwb + pfence per written word,
+// plus the commit and truncation fences) is the cost profile the paper
+// summarises for PMDK as ~2.25·Nw pwbs and 2+2·Nw pfences per transaction,
+// against which OneFile's fence-free commit is compared.
+package undolog
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+
+	"onefile/internal/pmem"
+	"onefile/internal/talloc"
+	"onefile/internal/tm"
+)
+
+const (
+	nStripes  = 1 << 16
+	hdrWords  = pmem.LineWords
+	hdrMagic  = 0
+	magicVal  = 0x0DD0_106_0001
+	lockSpins = 2048 // spins before an eager lock acquisition times out
+)
+
+func lockedBy(owner int) uint64  { return uint64(owner)<<1 | 1 }
+func isLocked(l uint64) bool     { return l&1 == 1 }
+func freeWith(ver uint64) uint64 { return ver << 1 }
+
+type abortSignal struct{}
+
+// ErrNotFormatted reports attaching to a device with no valid heap.
+var ErrNotFormatted = errors.New("undolog: device holds no heap (bad magic)")
+
+type readEntry struct {
+	stripe uint32
+	lockV  uint64
+}
+
+// Engine is the PMDK-style undo-log PTM.
+type Engine struct {
+	cfg tm.Config
+	dev *pmem.Device
+
+	locks []atomic.Uint64
+	clock atomic.Uint64
+
+	dataBase int // raw offset of heap word 0
+	stride   int // raw words per slot log
+
+	ctxs  []txCtx
+	claim []atomic.Uint32
+	hint  atomic.Uint32
+	dyn   tm.Ptr
+
+	commits     atomic.Uint64
+	aborts      atomic.Uint64
+	readCommits atomic.Uint64
+	readAborts  atomic.Uint64
+	casCount    atomic.Uint64
+}
+
+var (
+	_ tm.Engine     = (*Engine)(nil)
+	_ tm.Persistent = (*Engine)(nil)
+)
+
+type txCtx struct {
+	id      int
+	logOff  int // raw offset of this slot's undo log (word 0 = count)
+	n       int // entries appended so far
+	reads   []readEntry
+	held    []uint32 // stripes locked by this transaction
+	savedLk []uint64 // lock words replaced when acquiring them
+	dirty   []uint64 // distinct written heap addresses (for commit flush)
+}
+
+// slotLogStride returns the raw words per slot: count + 2 per entry,
+// line-aligned.
+func slotLogStride(maxStores int) int {
+	n := 1 + 2*maxStores
+	return (n + pmem.LineWords - 1) / pmem.LineWords * pmem.LineWords
+}
+
+// DeviceConfig returns the pmem configuration required by an engine with
+// the same options.
+func DeviceConfig(mode pmem.Mode, seed int64, opts ...tm.Option) pmem.Config {
+	cfg := tm.Apply(opts)
+	return pmem.Config{
+		RawWords: hdrWords + cfg.MaxThreads*slotLogStride(cfg.MaxStores) + cfg.HeapWords,
+		Mode:     mode,
+		MaxSlots: cfg.MaxThreads,
+		Seed:     seed,
+	}
+}
+
+// New creates (attach=false) or recovers (attach=true) an undo-log PTM on
+// dev.
+func New(dev *pmem.Device, attach bool, opts ...tm.Option) (*Engine, error) {
+	cfg := tm.Apply(opts)
+	e := &Engine{
+		cfg:    cfg,
+		dev:    dev,
+		locks:  make([]atomic.Uint64, nStripes),
+		stride: slotLogStride(cfg.MaxStores),
+		ctxs:   make([]txCtx, cfg.MaxThreads),
+		claim:  make([]atomic.Uint32, cfg.MaxThreads),
+		dyn:    talloc.MetaBase + talloc.MetaWords,
+	}
+	e.dataBase = hdrWords + cfg.MaxThreads*e.stride
+	if dev.RawWords() < e.dataBase+cfg.HeapWords {
+		return nil, errors.New("undolog: device too small")
+	}
+	for i := range e.ctxs {
+		e.ctxs[i].id = i
+		e.ctxs[i].logOff = hdrWords + i*e.stride
+	}
+	e.clock.Store(1)
+	if attach {
+		if dev.ImageRaw(hdrMagic) != magicVal {
+			return nil, ErrNotFormatted
+		}
+		e.recover()
+		return e, nil
+	}
+	talloc.InitDirect(func(p tm.Ptr, v uint64) {
+		e.dev.RawStore(e.dataBase+int(p), v)
+	}, e.dyn, cfg.HeapWords)
+	dev.Flush(0, e.dataBase, cfg.HeapWords)
+	dev.RawStore(hdrMagic, magicVal)
+	dev.Flush(0, hdrMagic, 1)
+	dev.Fence(0)
+	dev.ResetStats()
+	return e, nil
+}
+
+// recover rolls back every non-truncated undo log (in reverse append
+// order), making all in-flight transactions never-happened.
+func (e *Engine) recover() {
+	for s := range e.ctxs {
+		off := e.ctxs[s].logOff
+		n := int(e.dev.ImageRaw(off))
+		if n <= 0 || n > e.cfg.MaxStores {
+			continue
+		}
+		for k := n - 1; k >= 0; k-- {
+			addr := e.dev.ImageRaw(off + 1 + 2*k)
+			old := e.dev.ImageRaw(off + 2 + 2*k)
+			if addr >= uint64(e.cfg.HeapWords) {
+				continue
+			}
+			e.dev.RawStore(e.dataBase+int(addr), old)
+			e.dev.Flush(s, e.dataBase+int(addr), 1)
+		}
+		e.dev.RawStore(off, 0)
+		e.dev.Flush(s, off, 1)
+		e.dev.Fence(s)
+	}
+}
+
+// Recover implements tm.Persistent.
+func (e *Engine) Recover() error { e.recover(); return nil }
+
+// Name implements tm.Engine.
+func (e *Engine) Name() string { return "PMDK" }
+
+// Stats implements tm.Engine.
+func (e *Engine) Stats() tm.Stats {
+	d := e.dev.Stats()
+	return tm.Stats{
+		Commits:     e.commits.Load(),
+		Aborts:      e.aborts.Load(),
+		ReadCommits: e.readCommits.Load(),
+		ReadAborts:  e.readAborts.Load(),
+		CAS:         e.casCount.Load(),
+		Pwb:         d.Pwb,
+		Pfence:      d.Pfence,
+	}
+}
+
+// Close implements tm.Engine.
+func (e *Engine) Close() error { return nil }
+
+// DynBase returns the first dynamically allocatable word (audit aid).
+func (e *Engine) DynBase() tm.Ptr { return e.dyn }
+
+func (e *Engine) acquireCtx() *txCtx {
+	n := len(e.ctxs)
+	start := int(e.hint.Add(1))
+	for {
+		for i := 0; i < n; i++ {
+			j := (start + i) % n
+			if e.claim[j].Load() == 0 && e.claim[j].CompareAndSwap(0, 1) {
+				return &e.ctxs[j]
+			}
+		}
+		runtime.Gosched()
+	}
+}
+
+func (e *Engine) releaseCtx(c *txCtx) { e.claim[c.id].Store(0) }
+
+func stripeOf(addr uint64) uint32 {
+	addr *= 0x9E3779B97F4A7C15
+	return uint32(addr>>40) & (nStripes - 1)
+}
+
+func catchAbort(f func()) (aborted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortSignal); ok {
+				aborted = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	f()
+	return false
+}
+
+// Update implements tm.Engine.
+func (e *Engine) Update(fn func(tx tm.Tx) uint64) uint64 {
+	c := e.acquireCtx()
+	defer e.releaseCtx(c)
+	for {
+		rv := e.clock.Load()
+		c.reset()
+		tx := uTx{e: e, c: c, rv: rv}
+		var res uint64
+		aborted := false
+		func() {
+			// Eager in-place stores mean ANY panic — the internal abort
+			// signal or a user panic — must undo the stores and release
+			// the stripe locks before it leaves the engine.
+			defer func() {
+				if r := recover(); r != nil {
+					e.rollback(c)
+					if _, ok := r.(abortSignal); ok {
+						aborted = true
+						return
+					}
+					panic(r)
+				}
+			}()
+			res = fn(&tx)
+		}()
+		if aborted {
+			e.aborts.Add(1)
+			continue
+		}
+		if !e.validate(c) {
+			e.rollback(c)
+			e.aborts.Add(1)
+			continue
+		}
+		e.commit(c)
+		e.commits.Add(1)
+		return res
+	}
+}
+
+// Read implements tm.Engine.
+func (e *Engine) Read(fn func(tx tm.Tx) uint64) uint64 {
+	for {
+		rv := e.clock.Load()
+		tx := rTx{e: e, rv: rv}
+		var res uint64
+		if !catchAbort(func() { res = fn(&tx) }) {
+			e.readCommits.Add(1)
+			return res
+		}
+		e.readAborts.Add(1)
+	}
+}
+
+func (c *txCtx) reset() {
+	c.n = 0
+	c.reads = c.reads[:0]
+	c.held = c.held[:0]
+	c.savedLk = c.savedLk[:0]
+	c.dirty = c.dirty[:0]
+}
+
+// validate re-checks the read-set against the current lock words.
+func (e *Engine) validate(c *txCtx) bool {
+	mine := lockedBy(c.id)
+	for i := range c.reads {
+		r := &c.reads[i]
+		l := e.locks[r.stripe].Load()
+		if l == r.lockV {
+			continue
+		}
+		if l != mine {
+			return false
+		}
+		ok := false
+		for j, s := range c.held {
+			if s == r.stripe {
+				ok = c.savedLk[j] == r.lockV
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// commit persists the modified words, truncates the log (the durable
+// commit point), and releases the locks with a fresh version.
+func (e *Engine) commit(c *txCtx) {
+	if c.n > 0 {
+		// The complete log (count included) must be durable before any
+		// in-place data becomes durable, so a mid-commit crash can roll
+		// back.
+		e.dev.RawStore(c.logOff, uint64(c.n))
+		e.dev.Flush(c.id, c.logOff, 1)
+		e.dev.Fence(c.id)
+		for _, a := range c.dirty {
+			e.dev.Flush(c.id, e.dataBase+int(a), 1)
+		}
+		e.dev.Fence(c.id)
+		e.dev.RawStore(c.logOff, 0) // durable commit point
+		e.dev.Flush(c.id, c.logOff, 1)
+		e.dev.Fence(c.id)
+	}
+	wv := e.clock.Add(1)
+	for _, s := range c.held {
+		e.locks[s].Store(freeWith(wv))
+	}
+}
+
+// rollback undoes the in-place stores in reverse order and releases the
+// locks with their original words.
+func (e *Engine) rollback(c *txCtx) {
+	for k := c.n - 1; k >= 0; k-- {
+		addr := e.dev.RawLoad(c.logOff + 1 + 2*k)
+		old := e.dev.RawLoad(c.logOff + 2 + 2*k)
+		e.dev.RawStore(e.dataBase+int(addr), old)
+	}
+	e.dev.RawStore(c.logOff, 0)
+	e.dev.Flush(c.id, c.logOff, 1)
+	e.dev.Fence(c.id)
+	for j := len(c.held) - 1; j >= 0; j-- {
+		e.locks[c.held[j]].Store(c.savedLk[j])
+	}
+}
+
+// --- transaction handles ---
+
+type uTx struct {
+	e  *Engine
+	c  *txCtx
+	rv uint64
+}
+
+var _ tm.Tx = (*uTx)(nil)
+
+func (t *uTx) holds(s uint32) bool {
+	for _, h := range t.c.held {
+		if h == s {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *uTx) Load(p tm.Ptr) uint64 {
+	addr := uint64(p)
+	s := stripeOf(addr)
+	if t.holds(s) {
+		return t.e.dev.RawLoad(t.e.dataBase + int(addr))
+	}
+	for {
+		l1 := t.e.locks[s].Load()
+		// Abort on a locked stripe or one newer than our start (opacity:
+		// a doomed transaction must not compute on a mixed snapshot).
+		if isLocked(l1) || (l1>>1) > t.rv {
+			panic(abortSignal{})
+		}
+		v := t.e.dev.RawLoad(t.e.dataBase + int(addr))
+		if t.e.locks[s].Load() == l1 {
+			t.c.reads = append(t.c.reads, readEntry{stripe: s, lockV: l1})
+			return v
+		}
+	}
+}
+
+// Store implements the eager write-ahead protocol: lock the stripe, log the
+// old value durably, then update in place.
+func (t *uTx) Store(p tm.Ptr, v uint64) {
+	addr := uint64(p)
+	s := stripeOf(addr)
+	e, c := t.e, t.c
+	if !t.holds(s) {
+		spins := 0
+		for {
+			l := e.locks[s].Load()
+			e.casCount.Add(1)
+			if !isLocked(l) && e.locks[s].CompareAndSwap(l, lockedBy(c.id)) {
+				c.held = append(c.held, s)
+				c.savedLk = append(c.savedLk, l)
+				break
+			}
+			spins++
+			if spins > lockSpins {
+				panic(abortSignal{}) // deadlock-avoidance timeout
+			}
+			runtime.Gosched()
+		}
+	}
+	if c.n >= e.cfg.MaxStores {
+		panic(tm.ErrTooManyStores)
+	}
+	old := e.dev.RawLoad(e.dataBase + int(addr))
+	ent := c.logOff + 1 + 2*c.n
+	e.dev.RawStore(ent, addr)
+	e.dev.RawStore(ent+1, old)
+	c.n++
+	e.dev.RawStore(c.logOff, uint64(c.n))
+	e.dev.Flush(c.id, ent, 2) // write-ahead: entry durable before the store
+	e.dev.Fence(c.id)
+	e.dev.RawStore(e.dataBase+int(addr), v)
+	dup := false
+	for _, a := range c.dirty {
+		if a == addr {
+			dup = true
+			break
+		}
+	}
+	if !dup {
+		c.dirty = append(c.dirty, addr)
+	}
+}
+
+func (t *uTx) Alloc(n int) tm.Ptr { return talloc.Alloc(t, n) }
+func (t *uTx) Free(p tm.Ptr)      { talloc.Free(t, p) }
+
+type rTx struct {
+	e  *Engine
+	rv uint64
+}
+
+var _ tm.Tx = (*rTx)(nil)
+
+func (t *rTx) Load(p tm.Ptr) uint64 {
+	addr := uint64(p)
+	s := stripeOf(addr)
+	for {
+		l1 := t.e.locks[s].Load()
+		if isLocked(l1) || (l1>>1) > t.rv {
+			panic(abortSignal{})
+		}
+		v := t.e.dev.RawLoad(t.e.dataBase + int(addr))
+		if t.e.locks[s].Load() == l1 {
+			return v
+		}
+	}
+}
+
+func (t *rTx) Store(tm.Ptr, uint64) { panic(tm.ErrUpdateInReadTx) }
+func (t *rTx) Alloc(int) tm.Ptr     { panic(tm.ErrUpdateInReadTx) }
+func (t *rTx) Free(tm.Ptr)          { panic(tm.ErrUpdateInReadTx) }

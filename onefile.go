@@ -1,0 +1,155 @@
+// Package onefile is a Go implementation of OneFile — the wait-free
+// persistent transactional memory of Ramalhete, Correia, Felber and Cohen
+// (DSN 2019) — together with its software-transactional-memory variants for
+// volatile memory.
+//
+// OneFile lets ordinary sequential data-structure code run as wait-free
+// (or lock-free) transactions, with integrated wait-free memory
+// reclamation; the persistent variants add durable linearizability on an
+// emulated NVM device with crash recovery that needs no recovery code at
+// all ("null recovery"). See README.md for a tour and DESIGN.md for the
+// architecture.
+//
+// The four engines of the paper:
+//
+//	e := onefile.NewLockFree()                  // lock-free STM
+//	e := onefile.NewWaitFree()                  // bounded wait-free STM
+//	nvm := onefile.NewNVM(onefile.Strict, 0)    // emulated NVM DIMM
+//	e, err := nvm.OpenLockFree(false)           // lock-free PTM
+//	e, err := nvm.OpenWaitFree(false)           // wait-free PTM
+//
+// A transaction is a function over a word-addressed transactional heap:
+//
+//	cnt := onefile.Root(0)
+//	e.Update(func(tx onefile.Tx) uint64 {
+//	    tx.Store(cnt, tx.Load(cnt)+1)
+//	    return 0
+//	})
+//
+// Transaction bodies may run more than once (and, on the wait-free
+// engines, on helper goroutines), so they must be pure apart from their
+// effects through the Tx. The containers subpackage provides ready-made
+// wait-free queues, stacks, sets, hash sets and red-black trees built on
+// this API.
+package onefile
+
+import (
+	"io"
+
+	"onefile/internal/core"
+	"onefile/internal/pmem"
+	"onefile/internal/tm"
+)
+
+// Re-exported engine-neutral types. Ptr is a word index in the
+// transactional heap (0 is nil); Root(i) returns the i-th of NumRoots
+// persistent root slots.
+type (
+	// Engine is a OneFile transactional-memory engine.
+	Engine = tm.Engine
+	// Tx is the handle a transaction body uses to access the heap.
+	Tx = tm.Tx
+	// Ptr is a transactional heap pointer (word index).
+	Ptr = tm.Ptr
+	// Option customises engine sizing.
+	Option = tm.Option
+	// Stats is a snapshot of engine activity counters.
+	Stats = tm.Stats
+)
+
+// NumRoots is the number of root slots in every engine's heap.
+const NumRoots = tm.NumRoots
+
+// Root returns the heap word backing root slot i (0 ≤ i < NumRoots).
+func Root(i int) Ptr { return tm.Root(i) }
+
+// Sizing options (see internal/tm for defaults).
+var (
+	// WithHeapWords sets the transactional heap size in 64-bit words.
+	WithHeapWords = tm.WithHeapWords
+	// WithMaxThreads sets the number of concurrent transaction slots.
+	WithMaxThreads = tm.WithMaxThreads
+	// WithMaxStores sets the per-transaction write-set capacity.
+	WithMaxStores = tm.WithMaxStores
+	// WithReadTries sets the optimistic read-only attempt budget before a
+	// wait-free engine publishes the read as an operation.
+	WithReadTries = tm.WithReadTries
+)
+
+// NewLockFree creates the lock-free OneFile STM (volatile memory).
+func NewLockFree(opts ...Option) Engine { return core.NewLF(opts...) }
+
+// NewWaitFree creates the bounded wait-free OneFile STM (volatile memory).
+func NewWaitFree(opts ...Option) Engine { return core.NewWF(opts...) }
+
+// Mode selects the durability model of an emulated NVM device.
+type Mode int
+
+// Durability models.
+const (
+	// Strict makes every persistent write-back immediately durable.
+	Strict Mode = Mode(pmem.StrictMode)
+	// Relaxed buffers write-backs until the next ordering point and loses
+	// a random subset of un-ordered ones at a crash — the adversarial
+	// model for crash testing.
+	Relaxed Mode = Mode(pmem.RelaxedMode)
+)
+
+// NVM is an emulated byte-addressable non-volatile memory DIMM sized for
+// OneFile PTM engines created with the same options.
+type NVM struct {
+	dev  *pmem.Device
+	opts []Option
+}
+
+// NewNVM creates a fresh emulated NVM device. opts must match the options
+// later passed to OpenLockFree/OpenWaitFree. seed drives the randomised
+// crash behaviour of the Relaxed mode.
+func NewNVM(mode Mode, seed int64, opts ...Option) (*NVM, error) {
+	dev, err := pmem.New(core.DeviceConfig(pmem.Mode(mode), seed, opts...))
+	if err != nil {
+		return nil, err
+	}
+	return &NVM{dev: dev, opts: opts}, nil
+}
+
+// OpenLockFree creates (attach=false) or re-attaches to (attach=true) a
+// lock-free OneFile PTM on the device. Re-attaching runs null recovery.
+func (n *NVM) OpenLockFree(attach bool) (Engine, error) {
+	return core.NewPersistentLF(n.dev, attach, n.opts...)
+}
+
+// OpenWaitFree creates or re-attaches to a wait-free OneFile PTM.
+func (n *NVM) OpenWaitFree(attach bool) (Engine, error) {
+	return core.NewPersistentWF(n.dev, attach, n.opts...)
+}
+
+// Crash simulates a full-system power failure: everything not yet durable
+// is lost. The device must be quiescent (no goroutine inside a
+// transaction). After Crash, re-attach with OpenLockFree/OpenWaitFree —
+// the previous Engine must no longer be used.
+func (n *NVM) Crash() { n.dev.Crash() }
+
+// PersistStats returns the cumulative pwb and pfence counts of the device.
+func (n *NVM) PersistStats() (pwb, pfence uint64) {
+	s := n.dev.Stats()
+	return s.Pwb, s.Pfence
+}
+
+// SaveSnapshot writes the device's durable image to w — exactly the state
+// a crash would preserve. Together with LoadSnapshot it lets the emulated
+// NVM survive real process restarts (the paper emulates NVM with a file in
+// /dev/shm; this is the moral equivalent). The device must be quiescent.
+func (n *NVM) SaveSnapshot(w io.Writer) error {
+	_, err := n.dev.WriteTo(w)
+	return err
+}
+
+// LoadSnapshot restores a durable image previously written by SaveSnapshot
+// into this device (which must be created with the same options) and
+// discards all volatile state, as after a crash. Re-attach with
+// OpenLockFree/OpenWaitFree afterwards.
+func (n *NVM) LoadSnapshot(r io.Reader) error {
+	_, err := n.dev.ReadFrom(r)
+	return err
+}

@@ -1,0 +1,130 @@
+package onefile_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"onefile"
+	"onefile/containers"
+)
+
+func small() []onefile.Option {
+	return []onefile.Option{
+		onefile.WithHeapWords(1 << 15),
+		onefile.WithMaxThreads(16),
+		onefile.WithMaxStores(1 << 10),
+	}
+}
+
+func TestPublicVolatileEngines(t *testing.T) {
+	for _, e := range []onefile.Engine{
+		onefile.NewLockFree(small()...),
+		onefile.NewWaitFree(small()...),
+	} {
+		t.Run(e.Name(), func(t *testing.T) {
+			cnt := onefile.Root(0)
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 100; i++ {
+						e.Update(func(tx onefile.Tx) uint64 {
+							tx.Store(cnt, tx.Load(cnt)+1)
+							return 0
+						})
+					}
+				}()
+			}
+			wg.Wait()
+			if got := e.Read(func(tx onefile.Tx) uint64 { return tx.Load(cnt) }); got != 400 {
+				t.Fatalf("counter = %d", got)
+			}
+		})
+	}
+}
+
+func TestPublicPTMCrashCycle(t *testing.T) {
+	nvm, err := onefile.NewNVM(onefile.Relaxed, 42, small()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := nvm.OpenWaitFree(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := containers.NewHashSet(e, 0)
+	for i := uint64(0); i < 100; i++ {
+		set.Add(i)
+	}
+	nvm.Crash()
+	r, err := nvm.OpenWaitFree(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set2 := containers.NewHashSet(r, 0)
+	if set2.Len() != 100 {
+		t.Fatalf("recovered set has %d keys", set2.Len())
+	}
+	if pwb, _ := nvm.PersistStats(); pwb == 0 {
+		t.Fatal("no pwbs recorded")
+	}
+}
+
+func Example() {
+	e := onefile.NewWaitFree()
+	balance := onefile.Root(0)
+	e.Update(func(tx onefile.Tx) uint64 {
+		tx.Store(balance, 100)
+		return 0
+	})
+	got := e.Read(func(tx onefile.Tx) uint64 { return tx.Load(balance) })
+	fmt.Println(got)
+	// Output: 100
+}
+
+func TestSnapshotAcrossProcessRestart(t *testing.T) {
+	// Build a heap, snapshot it, restore it into a brand-new NVM (as a
+	// fresh process would), and verify the data and further updates.
+	nvm, err := onefile.NewNVM(onefile.Strict, 1, small()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := nvm.OpenLockFree(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := containers.NewQueue(e, 0)
+	for i := uint64(1); i <= 25; i++ {
+		q.Enqueue(i)
+	}
+	var file bytes.Buffer
+	if err := nvm.SaveSnapshot(&file); err != nil {
+		t.Fatal(err)
+	}
+
+	nvm2, err := onefile.NewNVM(onefile.Strict, 2, small()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nvm2.LoadSnapshot(&file); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := nvm2.OpenLockFree(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2 := containers.NewQueue(e2, 0)
+	if q2.Len() != 25 {
+		t.Fatalf("restored queue length = %d", q2.Len())
+	}
+	if v, ok := q2.Dequeue(); !ok || v != 1 {
+		t.Fatalf("restored head = %d,%v", v, ok)
+	}
+	q2.Enqueue(99)
+	if q2.Len() != 25 {
+		t.Fatalf("restored engine not writable: len=%d", q2.Len())
+	}
+}
