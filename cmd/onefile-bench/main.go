@@ -228,7 +228,7 @@ func runFig(fig int, threads []int) error {
 	case 12:
 		if *killFlag {
 			header("Fig. 12 (right): two-queue transfer with kills, tx/s", labels("N=", threads)...)
-			for _, eng := range []string{"OF-LF-PTM", "OF-WF-PTM"} {
+			for _, eng := range bench.PersistentEngines {
 				for _, kill := range []bool{false, true} {
 					every := time.Duration(0)
 					suffix := " no-kill"

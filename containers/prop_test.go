@@ -1,0 +1,139 @@
+package containers
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"onefile/internal/testutil"
+)
+
+// Property-based differential tests: drive the red-black tree and the tree
+// map with randomized operation sequences on every engine, mirror each
+// operation on a plain Go map oracle, and after every batch compare the full
+// observable state and re-verify the structural red-black invariants.
+
+const (
+	propOps     = 400
+	propKeys    = 64 // small key space => plenty of duplicate/missing hits
+	propBatches = 8  // invariant + full-state checks per run
+)
+
+func sortedKeys[V any](m map[uint64]V) []uint64 {
+	ks := make([]uint64, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+func TestRBTreeProperty(t *testing.T) {
+	seed := testutil.Seed(t, 1)
+	forEach(t, func(t *testing.T, e Engine) {
+		rng := rand.New(rand.NewSource(seed))
+		tree := NewRBTree(e, 5)
+		oracle := map[uint64]bool{}
+		for op := 0; op < propOps; op++ {
+			k := uint64(rng.Intn(propKeys))
+			switch rng.Intn(3) {
+			case 0:
+				if got, want := tree.Add(k), !oracle[k]; got != want {
+					t.Fatalf("op %d: Add(%d) = %v, oracle %v", op, k, got, want)
+				}
+				oracle[k] = true
+			case 1:
+				if got, want := tree.Remove(k), oracle[k]; got != want {
+					t.Fatalf("op %d: Remove(%d) = %v, oracle %v", op, k, got, want)
+				}
+				delete(oracle, k)
+			default:
+				if got, want := tree.Contains(k), oracle[k]; got != want {
+					t.Fatalf("op %d: Contains(%d) = %v, oracle %v", op, k, got, want)
+				}
+			}
+			if (op+1)%(propOps/propBatches) != 0 {
+				continue
+			}
+			if err := tree.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			want := sortedKeys(oracle)
+			got := tree.Keys(propKeys + 1)
+			if len(got) != len(want) {
+				t.Fatalf("op %d: Keys = %v, oracle %v", op, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("op %d: Keys = %v, oracle %v", op, got, want)
+				}
+			}
+			if tree.Len() != len(want) {
+				t.Fatalf("op %d: Len = %d, oracle %d", op, tree.Len(), len(want))
+			}
+			min, minOK := tree.Min()
+			max, maxOK := tree.Max()
+			if minOK != (len(want) > 0) || maxOK != (len(want) > 0) {
+				t.Fatalf("op %d: Min ok=%v Max ok=%v with %d keys", op, minOK, maxOK, len(want))
+			}
+			if len(want) > 0 && (min != want[0] || max != want[len(want)-1]) {
+				t.Fatalf("op %d: Min/Max = %d/%d, oracle %d/%d", op, min, max, want[0], want[len(want)-1])
+			}
+		}
+	})
+}
+
+func TestTreeMapProperty(t *testing.T) {
+	seed := testutil.Seed(t, 2)
+	forEach(t, func(t *testing.T, e Engine) {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewTreeMap(e, 6)
+		oracle := map[uint64]uint64{}
+		for op := 0; op < propOps; op++ {
+			k := uint64(rng.Intn(propKeys))
+			switch rng.Intn(3) {
+			case 0:
+				v := rng.Uint64() & MaxValue
+				wantPrev, wantOK := oracle[k]
+				prev, existed := m.Put(k, v)
+				if existed != wantOK || (wantOK && prev != wantPrev) {
+					t.Fatalf("op %d: Put(%d) = %d,%v, oracle %d,%v", op, k, prev, existed, wantPrev, wantOK)
+				}
+				oracle[k] = v
+			case 1:
+				wantPrev, wantOK := oracle[k]
+				prev, existed := m.Delete(k)
+				if existed != wantOK || (wantOK && prev != wantPrev) {
+					t.Fatalf("op %d: Delete(%d) = %d,%v, oracle %d,%v", op, k, prev, existed, wantPrev, wantOK)
+				}
+				delete(oracle, k)
+			default:
+				wantV, wantOK := oracle[k]
+				v, ok := m.Get(k)
+				if ok != wantOK || (wantOK && v != wantV) {
+					t.Fatalf("op %d: Get(%d) = %d,%v, oracle %d,%v", op, k, v, ok, wantV, wantOK)
+				}
+			}
+			if (op+1)%(propOps/propBatches) != 0 {
+				continue
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			ents := m.Range(0, MaxValue, propKeys+1)
+			want := sortedKeys(oracle)
+			if len(ents) != len(want) {
+				t.Fatalf("op %d: Range has %d entries, oracle %d", op, len(ents), len(want))
+			}
+			for i, ent := range ents {
+				if ent.Key != want[i] || ent.Val != oracle[ent.Key] {
+					t.Fatalf("op %d: Range[%d] = %d:%d, oracle %d:%d",
+						op, i, ent.Key, ent.Val, want[i], oracle[want[i]])
+				}
+			}
+			if m.Len() != len(want) {
+				t.Fatalf("op %d: Len = %d, oracle %d", op, m.Len(), len(want))
+			}
+		}
+	})
+}

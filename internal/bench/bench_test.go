@@ -119,7 +119,7 @@ func TestLatencySmoke(t *testing.T) {
 }
 
 func TestKillTestSmoke(t *testing.T) {
-	for _, eng := range []string{"OF-LF-PTM", "OF-WF-PTM"} {
+	for _, eng := range PersistentEngines {
 		t.Run(eng, func(t *testing.T) {
 			res, err := KillTest(KillConfig{
 				Engine:    eng,
@@ -142,17 +142,21 @@ func TestKillTestSmoke(t *testing.T) {
 }
 
 func TestKillTestNoKill(t *testing.T) {
-	res, err := KillTest(KillConfig{
-		Engine:   "OF-LF-PTM",
-		Workers:  4,
-		Items:    32,
-		Duration: 150 * time.Millisecond,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Kills != 0 {
-		t.Fatalf("kills = %d without a killer", res.Kills)
+	for _, eng := range []string{"OF-LF-PTM", "PMDK", "RomulusLR"} {
+		t.Run(eng, func(t *testing.T) {
+			res, err := KillTest(KillConfig{
+				Engine:   eng,
+				Workers:  4,
+				Items:    32,
+				Duration: 150 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Kills != 0 {
+				t.Fatalf("kills = %d without a killer", res.Kills)
+			}
+		})
 	}
 }
 

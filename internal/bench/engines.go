@@ -41,12 +41,13 @@ func NewVolatile(name string, opts ...tm.Option) (tm.Engine, error) {
 	return nil, fmt.Errorf("bench: unknown volatile engine %q", name)
 }
 
-// NewPersistent builds a persistent engine by name on a fresh device.
-func NewPersistent(name string, mode pmem.Mode, seed int64, opts ...tm.Option) (tm.Engine, *pmem.Device, error) {
-	var (
-		cfgFn func(pmem.Mode, int64, ...tm.Option) pmem.Config
-		mkFn  func(*pmem.Device, bool, ...tm.Option) (tm.Engine, error)
-	)
+// persistentFns resolves an engine name to its device-config and constructor
+// functions (the bool argument of the constructor selects attach/recover).
+func persistentFns(name string) (
+	cfgFn func(pmem.Mode, int64, ...tm.Option) pmem.Config,
+	mkFn func(*pmem.Device, bool, ...tm.Option) (tm.Engine, error),
+	err error,
+) {
 	switch name {
 	case "OF-LF-PTM":
 		cfgFn = core.DeviceConfig
@@ -76,6 +77,15 @@ func NewPersistent(name string, mode pmem.Mode, seed int64, opts ...tm.Option) (
 	default:
 		return nil, nil, fmt.Errorf("bench: unknown persistent engine %q", name)
 	}
+	return cfgFn, mkFn, nil
+}
+
+// NewPersistent builds a persistent engine by name on a fresh device.
+func NewPersistent(name string, mode pmem.Mode, seed int64, opts ...tm.Option) (tm.Engine, *pmem.Device, error) {
+	cfgFn, mkFn, err := persistentFns(name)
+	if err != nil {
+		return nil, nil, err
+	}
 	dev, err := pmem.New(cfgFn(mode, seed, opts...))
 	if err != nil {
 		return nil, nil, err
@@ -85,6 +95,16 @@ func NewPersistent(name string, mode pmem.Mode, seed int64, opts ...tm.Option) (
 		return nil, nil, err
 	}
 	return e, dev, nil
+}
+
+// RecoverPersistent re-attaches an engine by name to an existing device, as
+// a restarted process would after a crash.
+func RecoverPersistent(name string, dev *pmem.Device, opts ...tm.Option) (tm.Engine, error) {
+	_, mkFn, err := persistentFns(name)
+	if err != nil {
+		return nil, err
+	}
+	return mkFn(dev, true, opts...)
 }
 
 // Point is one measured data point of a figure: a series name, the swept

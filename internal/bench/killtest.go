@@ -8,19 +8,27 @@ import (
 	"time"
 
 	"onefile/containers"
-	"onefile/internal/core"
 	"onefile/internal/pmem"
 	"onefile/internal/talloc"
 	"onefile/internal/tm"
 )
 
-// KillConfig parameterises the resilience test of Fig. 12-right: N workers
+// KillConfig parameterises the resilience test of Fig. 12-right: workers
 // continuously move items between two shared persistent queues; every
-// KillEvery, one worker is killed mid-transaction (at a persistence event,
+// KillEvery, a worker is killed mid-transaction (at a persistence event,
 // like a process receiving SIGKILL) and immediately respawned.
+//
+// The kill model depends on the engine. The OneFile PTMs are lock-free, so
+// surviving workers keep committing while a killed worker's transaction is
+// helped to completion or ignored — they run the concurrent per-worker kill.
+// The blocking PTMs (PMDK's undo log, both Romulus variants) cannot survive
+// a dead lock holder in-process — the paper kills the whole process instead —
+// so they run a crash-cycle: one worker per incarnation, a simulated power
+// failure (pmem.Crash) at a persistence event, recovery, and a respawn. Both
+// paths assert the same §V-B invariants after every recovery.
 type KillConfig struct {
-	Engine    string // "OF-LF-PTM" or "OF-WF-PTM"
-	Workers   int
+	Engine    string // any name in PersistentEngines
+	Workers   int    // concurrent path only; crash-cycle runs one worker per incarnation
 	Items     int
 	Duration  time.Duration
 	KillEvery time.Duration // zero = no killing (the paper's "no kill" series)
@@ -34,23 +42,70 @@ type KillResult struct {
 
 var errKilled = errors.New("bench: worker killed")
 
-// KillTest runs the two-queue transfer workload and verifies the paper's
-// §V-B invariants afterwards: no item is lost or duplicated, the allocator
-// audits clean, and the engine keeps running. Only the OneFile PTMs can
-// survive this test — a killed lock holder would wedge any blocking PTM,
-// which is precisely the point of the figure.
-func KillTest(cfg KillConfig) (KillResult, error) {
-	opts := []tm.Option{
+// killOpts sizes the engines of the kill test.
+func killOpts() []tm.Option {
+	return []tm.Option{
 		tm.WithHeapWords(1 << 18),
 		tm.WithMaxThreads(64),
 		tm.WithMaxStores(1 << 10),
 	}
-	e, dev, err := NewPersistent(cfg.Engine, pmem.StrictMode, 1, opts...)
+}
+
+// KillTest runs the two-queue transfer workload for cfg.Engine and verifies
+// the paper's §V-B invariants: no item is lost or duplicated, the allocator
+// audits clean, and the engine keeps running.
+func KillTest(cfg KillConfig) (KillResult, error) {
+	switch cfg.Engine {
+	case "OF-LF-PTM", "OF-WF-PTM":
+		return killTestConcurrent(cfg)
+	case "PMDK", "RomulusLog", "RomulusLR":
+		if cfg.KillEvery == 0 {
+			// Nothing gets killed, so the blocking engines can run the
+			// concurrent workload too (the paper's "no kill" baseline).
+			return killTestConcurrent(cfg)
+		}
+		return killTestCrashCycle(cfg)
+	}
+	return KillResult{}, fmt.Errorf("bench: unknown persistent engine %q", cfg.Engine)
+}
+
+// checkKillInvariants verifies item conservation, uniqueness and allocator
+// integrity on e.
+func checkKillInvariants(e tm.Engine, q1, q2 *containers.Queue, items int) error {
+	total := q1.Len() + q2.Len()
+	if total != items {
+		return fmt.Errorf("bench: item conservation violated: %d, want %d", total, items)
+	}
+	var auditErr error
+	e.Read(func(tx tm.Tx) uint64 {
+		db, ok := e.(interface{ DynBase() tm.Ptr })
+		if !ok {
+			return 0
+		}
+		if _, _, okAudit := talloc.Audit(tx, db.DynBase()); !okAudit {
+			auditErr = errors.New("bench: allocator audit failed after kills")
+		}
+		return 0
+	})
+	if auditErr != nil {
+		return auditErr
+	}
+	seen := map[uint64]bool{}
+	for _, v := range append(q1.Snapshot(items+1), q2.Snapshot(items+1)...) {
+		if seen[v] {
+			return fmt.Errorf("bench: item %d duplicated", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// killTestConcurrent is the lock-free path: kills strike one worker at a
+// persistence event while the other workers keep running on the same engine.
+func killTestConcurrent(cfg KillConfig) (KillResult, error) {
+	e, dev, err := NewPersistent(cfg.Engine, pmem.StrictMode, 1, killOpts()...)
 	if err != nil {
 		return KillResult{}, err
-	}
-	if cfg.Engine != "OF-LF-PTM" && cfg.Engine != "OF-WF-PTM" {
-		return KillResult{}, fmt.Errorf("bench: kill test requires a OneFile PTM, got %q", cfg.Engine)
 	}
 	q1 := containers.NewQueue(e, 0)
 	q2 := containers.NewQueue(e, 1)
@@ -141,34 +196,94 @@ func KillTest(cfg KillConfig) (KillResult, error) {
 	<-killerDone
 	dev.SetHook(nil)
 
-	// Invariants (§V-B): conservation of items and allocator integrity.
-	total := q1.Len() + q2.Len()
-	if total != cfg.Items {
-		return KillResult{}, fmt.Errorf("bench: item conservation violated: %d, want %d", total, cfg.Items)
-	}
-	var auditErr error
-	e.Read(func(tx tm.Tx) uint64 {
-		ce, ok := e.(*core.Engine)
-		if !ok {
-			return 0
-		}
-		if _, _, okAudit := talloc.Audit(tx, ce.DynBase()); !okAudit {
-			auditErr = errors.New("bench: allocator audit failed after kills")
-		}
-		return 0
-	})
-	if auditErr != nil {
-		return KillResult{}, auditErr
-	}
-	seen := map[uint64]bool{}
-	for _, v := range append(q1.Snapshot(cfg.Items+1), q2.Snapshot(cfg.Items+1)...) {
-		if seen[v] {
-			return KillResult{}, fmt.Errorf("bench: item %d duplicated", v)
-		}
-		seen[v] = true
+	if err := checkKillInvariants(e, q1, q2, cfg.Items); err != nil {
+		return KillResult{}, err
 	}
 	return KillResult{
 		TxPerSec: float64(txs.Load()) / cfg.Duration.Seconds(),
 		Kills:    int(kills.Load()),
+	}, nil
+}
+
+// killTestCrashCycle is the blocking-PTM path: one worker per process
+// incarnation. Each incarnation transfers items until the kill timer fires,
+// then dies at the next persistence event — and, as a dead process, at every
+// event after it, so a rollback running while the panic unwinds persists
+// nothing. pmem.Crash turns that into a power failure, the engine recovers
+// (recovery failure fails the test), the invariants are re-checked, and the
+// next incarnation starts.
+func killTestCrashCycle(cfg KillConfig) (KillResult, error) {
+	opts := killOpts()
+	e, dev, err := NewPersistent(cfg.Engine, pmem.StrictMode, 1, opts...)
+	if err != nil {
+		return KillResult{}, err
+	}
+	q1 := containers.NewQueue(e, 0)
+	q2 := containers.NewQueue(e, 1)
+	for i := 0; i < cfg.Items; i++ {
+		q1.Enqueue(uint64(i + 1))
+	}
+
+	var (
+		txs      uint64
+		kills    int
+		deadline = time.Now().Add(cfg.Duration)
+	)
+	for time.Now().Before(deadline) {
+		// One incarnation: run transfers; once the kill timer expires, arm
+		// the trap and die at the next persistence event.
+		killAt := time.Now().Add(cfg.KillEvery)
+		died := func() (died bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					if r == errKilled {
+						died = true
+						return
+					}
+					panic(r)
+				}
+			}()
+			armed := false
+			for time.Now().Before(deadline) {
+				if !armed && !time.Now().Before(killAt) {
+					dev.SetHook(func(pmem.Event) { panic(errKilled) })
+					armed = true
+				}
+				e.Update(func(tx tm.Tx) uint64 {
+					if v, ok := q1.DequeueTx(tx); ok {
+						q2.EnqueueTx(tx, v)
+					} else if v, ok := q2.DequeueTx(tx); ok {
+						q1.EnqueueTx(tx, v)
+					}
+					return 0
+				})
+				txs++
+			}
+			return false
+		}()
+		if !died {
+			break
+		}
+		kills++
+		dev.SetHook(nil)
+		dev.Crash()
+		r, err := RecoverPersistent(cfg.Engine, dev, opts...)
+		if err != nil {
+			return KillResult{}, fmt.Errorf("bench: recovery after kill %d failed: %w", kills, err)
+		}
+		e = r
+		q1 = containers.NewQueue(e, 0)
+		q2 = containers.NewQueue(e, 1)
+		if err := checkKillInvariants(e, q1, q2, cfg.Items); err != nil {
+			return KillResult{}, fmt.Errorf("bench: after kill %d: %w", kills, err)
+		}
+	}
+
+	if err := checkKillInvariants(e, q1, q2, cfg.Items); err != nil {
+		return KillResult{}, err
+	}
+	return KillResult{
+		TxPerSec: float64(txs) / cfg.Duration.Seconds(),
+		Kills:    kills,
 	}, nil
 }

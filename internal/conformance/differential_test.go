@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"onefile/internal/testutil"
 	"onefile/internal/tm"
 )
 
@@ -14,10 +15,11 @@ import (
 // (read-your-writes, replace-on-store, alloc zeroing, free/recycle) of all
 // nine engines against one executable specification.
 func TestDifferentialRandomTransactions(t *testing.T) {
+	seed := testutil.Seed(t, 1234)
 	for name, mk := range makers() {
 		t.Run(name, func(t *testing.T) {
 			f := mk(t)
-			rng := rand.New(rand.NewSource(1234))
+			rng := rand.New(rand.NewSource(seed))
 			model := map[tm.Ptr]uint64{}
 			var blocks []tm.Ptr // live allocations (model side)
 			blockSize := map[tm.Ptr]int{}

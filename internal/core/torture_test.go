@@ -7,6 +7,7 @@ import (
 
 	"onefile/internal/pmem"
 	"onefile/internal/talloc"
+	"onefile/internal/testutil"
 	"onefile/internal/tm"
 )
 
@@ -23,9 +24,10 @@ func TestCrashTorture(t *testing.T) {
 		seeds = 60
 		words = 6
 	)
+	base := testutil.Seed(t, 1)
 	for _, wf := range []bool{false, true} {
 		t.Run(fmt.Sprintf("wf=%v", wf), func(t *testing.T) {
-			for seed := int64(1); seed <= seeds; seed++ {
+			for seed := base; seed < base+seeds; seed++ {
 				rng := rand.New(rand.NewSource(seed))
 				dev, err := pmem.New(DeviceConfig(pmem.RelaxedMode, seed, smallOpts()...))
 				if err != nil {
@@ -121,7 +123,8 @@ func TestCrashTorture(t *testing.T) {
 // TestDoubleCrashTorture crashes, recovers, runs more transactions, and
 // crashes again — recovery must compose.
 func TestDoubleCrashTorture(t *testing.T) {
-	for seed := int64(1); seed <= 20; seed++ {
+	base := testutil.Seed(t, 1)
+	for seed := base; seed < base+20; seed++ {
 		dev, err := pmem.New(DeviceConfig(pmem.RelaxedMode, seed, smallOpts()...))
 		if err != nil {
 			t.Fatal(err)

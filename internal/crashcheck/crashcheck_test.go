@@ -1,0 +1,66 @@
+package crashcheck
+
+import (
+	"testing"
+
+	"onefile/internal/testutil"
+)
+
+// TestCrashMatrix is the acceptance sweep: crash at every persistence event
+// of the canonical workload, for every persistent engine, in StrictMode and
+// (full mode) across eight RelaxedMode device seeds, and demand zero
+// violations. -short bounds the run for CI's race build: a smaller program,
+// two relaxed seeds, and a stride over the relaxed event space (StrictMode
+// stays exhaustive — it is the cheap half and the paper's core claim).
+func TestCrashMatrix(t *testing.T) {
+	seed := testutil.Seed(t, 1)
+	cfg := Config{
+		Seed:         seed,
+		Txns:         6,
+		Stride:       1,
+		Strict:       true,
+		RelaxedSeeds: []int64{1, 2, 3, 4, 5, 6, 7, 8},
+		Logf:         t.Logf,
+	}
+	if testing.Short() {
+		cfg.Txns = 4
+		cfg.RelaxedSeeds = nil // strided relaxed sweep lives in its own test
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	t.Logf("%d crash points, %d violations", res.Points, len(res.Violations))
+	if res.Points == 0 {
+		t.Fatal("matrix exercised no crash points")
+	}
+}
+
+// TestCrashMatrixRelaxedStride keeps a strided RelaxedMode sweep in the
+// -short tier so the buffered-flush drop path is exercised under the race
+// detector too, at a bounded cost.
+func TestCrashMatrixRelaxedStride(t *testing.T) {
+	if !testing.Short() {
+		t.Skip("covered exhaustively by TestCrashMatrix in full mode")
+	}
+	seed := testutil.Seed(t, 1)
+	res, err := Run(Config{
+		Seed:         seed,
+		Txns:         4,
+		Stride:       5,
+		RelaxedSeeds: []int64{11, 12, 13},
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if res.Points == 0 {
+		t.Fatal("matrix exercised no crash points")
+	}
+}

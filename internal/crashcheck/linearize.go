@@ -1,0 +1,241 @@
+package crashcheck
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// This file is crashcheck's Phase 2: a linearizability checker in the
+// Wing-Gong/Lowe (WGL) style popularised by the porcupine library. A
+// concurrent run of a container records a history of operations with
+// invocation/response timestamps from a shared logical clock; the checker
+// searches for a sequential order of the operations that (a) respects
+// real time — an operation that returned before another was invoked must
+// come first — and (b) is legal under a sequential model of the object.
+// The search memoises (linearized-set, model-state) pairs, which keeps it
+// tractable for the history sizes the tests record.
+
+// Operation kinds for the built-in specs.
+const (
+	LOpEnqueue = iota
+	LOpDequeue
+	LOpAdd
+	LOpRemove
+	LOpContains
+	LOpPut
+	LOpGet
+	LOpDelete
+)
+
+// LOp is one completed operation of a concurrent history.
+type LOp struct {
+	Client    int
+	Call, Ret uint64 // logical timestamps: Call < Ret, from a shared counter
+	Kind      int
+	Key, Val  uint64 // inputs (Key unused by the queue spec)
+	OutV      uint64 // output value (dequeue, get, put-prev, delete-prev)
+	OutOK     bool   // output flag (found / changed / non-empty)
+}
+
+// LinSpec is a sequential object specification.
+type LinSpec struct {
+	// Init returns the initial model state.
+	Init func() any
+	// Step applies op to state and reports whether op's recorded output is
+	// legal from that state; it must not mutate state.
+	Step func(state any, op LOp) (next any, legal bool)
+	// Hash canonically encodes a state for memoisation.
+	Hash func(state any) string
+	// Partition splits a history into independently-checkable
+	// sub-histories (operations on different keys of a set/map commute);
+	// nil checks the whole history at once.
+	Partition func(ops []LOp) [][]LOp
+}
+
+// maxPartitionOps bounds one partition's search (the linearized set is a
+// bitmask). Tests keep histories within this.
+const maxPartitionOps = 64
+
+// CheckLinearizable reports whether history has a linearization under spec.
+func CheckLinearizable(spec LinSpec, history []LOp) (bool, error) {
+	parts := [][]LOp{history}
+	if spec.Partition != nil {
+		parts = spec.Partition(history)
+	}
+	for _, part := range parts {
+		if len(part) > maxPartitionOps {
+			return false, fmt.Errorf("crashcheck: partition of %d ops exceeds checker bound %d", len(part), maxPartitionOps)
+		}
+		if !checkPartition(spec, part) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func checkPartition(spec LinSpec, ops []LOp) bool {
+	if len(ops) == 0 {
+		return true
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Call < ops[j].Call })
+	full := uint64(1)<<len(ops) - 1
+	// dead memoises configurations proven unlinearizable: the same set of
+	// already-linearized operations with the same model state always fails
+	// the same way, whatever order produced it.
+	dead := map[string]bool{}
+	var dfs func(done uint64, state any) bool
+	dfs = func(done uint64, state any) bool {
+		if done == full {
+			return true
+		}
+		key := fmt.Sprintf("%x|%s", done, spec.Hash(state))
+		if dead[key] {
+			return false
+		}
+		// Pending operations linearize in some order; the next one must
+		// have been invoked before every pending operation's response
+		// (otherwise some operation finished strictly before it started,
+		// and real-time order forces that operation to go first).
+		minRet := ^uint64(0)
+		for i, op := range ops {
+			if done&(1<<i) == 0 && op.Ret < minRet {
+				minRet = op.Ret
+			}
+		}
+		for i, op := range ops {
+			if done&(1<<i) != 0 || op.Call > minRet {
+				continue
+			}
+			if next, legal := spec.Step(state, op); legal && dfs(done|1<<i, next) {
+				return true
+			}
+		}
+		dead[key] = true
+		return false
+	}
+	return dfs(0, spec.Init())
+}
+
+// partitionByKey groups operations by Key.
+func partitionByKey(ops []LOp) [][]LOp {
+	byKey := map[uint64][]LOp{}
+	for _, op := range ops {
+		byKey[op.Key] = append(byKey[op.Key], op)
+	}
+	parts := make([][]LOp, 0, len(byKey))
+	for _, p := range byKey {
+		parts = append(parts, p)
+	}
+	return parts
+}
+
+// QueueSpec is the sequential FIFO queue: Enqueue always succeeds; Dequeue
+// returns the oldest value, or OutOK=false on empty. Queue histories do not
+// partition (operations on one queue never commute in general).
+func QueueSpec() LinSpec {
+	return LinSpec{
+		Init: func() any { return []uint64(nil) },
+		Step: func(state any, op LOp) (any, bool) {
+			q := state.([]uint64)
+			switch op.Kind {
+			case LOpEnqueue:
+				nq := make([]uint64, len(q)+1)
+				copy(nq, q)
+				nq[len(q)] = op.Val
+				return nq, true
+			case LOpDequeue:
+				if len(q) == 0 {
+					return q, !op.OutOK
+				}
+				return q[1:], op.OutOK && op.OutV == q[0]
+			}
+			return q, false
+		},
+		Hash: func(state any) string { return fmt.Sprint(state.([]uint64)) },
+	}
+}
+
+// SetSpec is the sequential set, checked per key: Add/Remove report whether
+// they changed membership, Contains reports membership.
+func SetSpec() LinSpec {
+	return LinSpec{
+		Init: func() any { return false },
+		Step: func(state any, op LOp) (any, bool) {
+			present := state.(bool)
+			switch op.Kind {
+			case LOpAdd:
+				return true, op.OutOK == !present
+			case LOpRemove:
+				return false, op.OutOK == present
+			case LOpContains:
+				return present, op.OutOK == present
+			}
+			return present, false
+		},
+		Hash:      func(state any) string { return fmt.Sprint(state.(bool)) },
+		Partition: partitionByKey,
+	}
+}
+
+type kvState struct {
+	val    uint64
+	exists bool
+}
+
+// MapSpec is the sequential map, checked per key: Put returns the previous
+// binding, Get the current one, Delete the removed one.
+func MapSpec() LinSpec {
+	return LinSpec{
+		Init: func() any { return kvState{} },
+		Step: func(state any, op LOp) (any, bool) {
+			s := state.(kvState)
+			switch op.Kind {
+			case LOpPut:
+				legal := op.OutOK == s.exists && (!s.exists || op.OutV == s.val)
+				return kvState{val: op.Val, exists: true}, legal
+			case LOpGet:
+				return s, op.OutOK == s.exists && (!s.exists || op.OutV == s.val)
+			case LOpDelete:
+				legal := op.OutOK == s.exists && (!s.exists || op.OutV == s.val)
+				return kvState{}, legal
+			}
+			return s, false
+		},
+		Hash:      func(state any) string { return fmt.Sprintf("%v,%d", state.(kvState).exists, state.(kvState).val) },
+		Partition: partitionByKey,
+	}
+}
+
+// Recorder collects a concurrent history with a shared logical clock. Each
+// client records into its own slice (no cross-client synchronisation beyond
+// the clock), and History merges them once the run is quiescent.
+type Recorder struct {
+	clock atomic.Uint64
+	ops   [][]LOp
+}
+
+// NewRecorder makes a recorder for clients concurrent clients.
+func NewRecorder(clients int) *Recorder {
+	return &Recorder{ops: make([][]LOp, clients)}
+}
+
+// Invoke timestamps an invocation by client.
+func (r *Recorder) Invoke() uint64 { return r.clock.Add(1) }
+
+// Complete timestamps the response and records the finished operation.
+func (r *Recorder) Complete(client int, op LOp) {
+	op.Client = client
+	op.Ret = r.clock.Add(1)
+	r.ops[client] = append(r.ops[client], op)
+}
+
+// History returns every recorded operation. Call only after all clients
+// finished.
+func (r *Recorder) History() []LOp {
+	var all []LOp
+	for _, ops := range r.ops {
+		all = append(all, ops...)
+	}
+	return all
+}

@@ -1,0 +1,278 @@
+package crashcheck
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"onefile/containers"
+	"onefile/internal/core"
+	"onefile/internal/pmem"
+	"onefile/internal/testutil"
+	"onefile/internal/tm"
+)
+
+// --- checker sanity: hand-built histories ---
+
+// seqOp builds a non-overlapping operation occupying [call, call+1].
+func seqOp(kind int, key, val, outV uint64, outOK bool, call uint64) LOp {
+	return LOp{Kind: kind, Key: key, Val: val, OutV: outV, OutOK: outOK, Call: call, Ret: call + 1}
+}
+
+func mustCheck(t *testing.T, spec LinSpec, h []LOp, want bool) {
+	t.Helper()
+	got, err := CheckLinearizable(spec, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("CheckLinearizable = %v, want %v for history %+v", got, want, h)
+	}
+}
+
+func TestCheckerRejectsBadQueueHistories(t *testing.T) {
+	// Dequeue returns a value that was never enqueued.
+	mustCheck(t, QueueSpec(), []LOp{
+		seqOp(LOpEnqueue, 0, 1, 0, false, 1),
+		seqOp(LOpDequeue, 0, 0, 2, true, 3),
+	}, false)
+	// FIFO violation: enq(1) then enq(2) strictly before deq -> 2.
+	mustCheck(t, QueueSpec(), []LOp{
+		seqOp(LOpEnqueue, 0, 1, 0, false, 1),
+		seqOp(LOpEnqueue, 0, 2, 0, false, 3),
+		seqOp(LOpDequeue, 0, 0, 2, true, 5),
+	}, false)
+	// Empty dequeue after a completed enqueue with nothing removed.
+	mustCheck(t, QueueSpec(), []LOp{
+		seqOp(LOpEnqueue, 0, 7, 0, false, 1),
+		seqOp(LOpDequeue, 0, 0, 0, false, 3),
+	}, false)
+}
+
+func TestCheckerAcceptsConcurrentQueueHistories(t *testing.T) {
+	// Same empty-dequeue, but overlapping the enqueue: the dequeue may
+	// linearize first, so the history is fine.
+	mustCheck(t, QueueSpec(), []LOp{
+		{Kind: LOpEnqueue, Val: 7, Call: 1, Ret: 4},
+		{Kind: LOpDequeue, OutV: 0, OutOK: false, Call: 2, Ret: 3},
+	}, true)
+	// Two overlapping enqueues then two dequeues that observe them in the
+	// opposite order of their invocations — legal, they overlapped.
+	mustCheck(t, QueueSpec(), []LOp{
+		{Kind: LOpEnqueue, Val: 1, Call: 1, Ret: 4},
+		{Kind: LOpEnqueue, Val: 2, Call: 2, Ret: 3},
+		seqOp(LOpDequeue, 0, 0, 2, true, 5),
+		seqOp(LOpDequeue, 0, 0, 1, true, 7),
+	}, true)
+}
+
+func TestCheckerRejectsBadSetHistories(t *testing.T) {
+	// Contains=false strictly after a completed successful Add.
+	mustCheck(t, SetSpec(), []LOp{
+		seqOp(LOpAdd, 5, 0, 0, true, 1),
+		seqOp(LOpContains, 5, 0, 0, false, 3),
+	}, false)
+	// Two sequential Adds both claim to have inserted.
+	mustCheck(t, SetSpec(), []LOp{
+		seqOp(LOpAdd, 5, 0, 0, true, 1),
+		seqOp(LOpAdd, 5, 0, 0, true, 3),
+	}, false)
+	// Contains=true after a completed successful Remove.
+	mustCheck(t, SetSpec(), []LOp{
+		seqOp(LOpAdd, 5, 0, 0, true, 1),
+		seqOp(LOpRemove, 5, 0, 0, true, 3),
+		seqOp(LOpContains, 5, 0, 0, true, 5),
+	}, false)
+	// Operations on other keys cannot rescue the bad key (partitioning).
+	mustCheck(t, SetSpec(), []LOp{
+		seqOp(LOpAdd, 9, 0, 0, true, 1),
+		seqOp(LOpAdd, 5, 0, 0, true, 2),
+		seqOp(LOpContains, 5, 0, 0, false, 4),
+	}, false)
+}
+
+func TestCheckerRejectsBadMapHistories(t *testing.T) {
+	// Get observes a value never written.
+	mustCheck(t, MapSpec(), []LOp{
+		seqOp(LOpPut, 3, 10, 0, false, 1),
+		seqOp(LOpGet, 3, 0, 11, true, 3),
+	}, false)
+	// Put reports a wrong previous binding.
+	mustCheck(t, MapSpec(), []LOp{
+		seqOp(LOpPut, 3, 10, 0, false, 1),
+		seqOp(LOpPut, 3, 20, 99, true, 3),
+	}, false)
+	// Delete of an existing key reports not-found.
+	mustCheck(t, MapSpec(), []LOp{
+		seqOp(LOpPut, 3, 10, 0, false, 1),
+		seqOp(LOpDelete, 3, 0, 0, false, 3),
+	}, false)
+}
+
+func TestCheckerPartitionBound(t *testing.T) {
+	h := make([]LOp, maxPartitionOps+1)
+	for i := range h {
+		h[i] = seqOp(LOpEnqueue, 0, uint64(i), 0, false, uint64(2*i+1))
+	}
+	if _, err := CheckLinearizable(QueueSpec(), h); err == nil {
+		t.Fatal("expected partition-size error")
+	}
+}
+
+// --- recorded histories from real concurrent containers ---
+
+// linEngines yields a volatile and a persistent engine per flavor, so the
+// histories cover both the plain TM and the PTM commit paths.
+func linEngines(t *testing.T) map[string]tm.Engine {
+	t.Helper()
+	opts := engineOpts()
+	es := map[string]tm.Engine{
+		"OF-LF": core.NewLF(opts...),
+		"OF-WF": core.NewWF(opts...),
+	}
+	for _, name := range []string{"OF-LF-PTM", "OF-WF-PTM"} {
+		def, err := EngineByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev, err := pmem.New(def.DeviceConfig(pmem.StrictMode, 1, opts...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := def.New(dev, false, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		es[name] = e
+	}
+	return es
+}
+
+const (
+	linClients   = 3
+	linOpsPerCli = 12
+	linKeys      = 4 // few keys => real contention, small partitions
+)
+
+func recordQueueHistory(e tm.Engine, seed int64) []LOp {
+	q := containers.NewQueue(e, 0)
+	rec := NewRecorder(linClients)
+	var wg sync.WaitGroup
+	for c := 0; c < linClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(c)))
+			for i := 0; i < linOpsPerCli; i++ {
+				if rng.Intn(2) == 0 {
+					v := uint64(c*linOpsPerCli+i) + 1
+					call := rec.Invoke()
+					q.Enqueue(v)
+					rec.Complete(c, LOp{Call: call, Kind: LOpEnqueue, Val: v})
+				} else {
+					call := rec.Invoke()
+					v, ok := q.Dequeue()
+					rec.Complete(c, LOp{Call: call, Kind: LOpDequeue, OutV: v, OutOK: ok})
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	return rec.History()
+}
+
+func recordSetHistory(e tm.Engine, seed int64) []LOp {
+	hs := containers.NewHashSet(e, 1)
+	rec := NewRecorder(linClients)
+	var wg sync.WaitGroup
+	for c := 0; c < linClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + 100 + int64(c)))
+			for i := 0; i < linOpsPerCli; i++ {
+				k := uint64(rng.Intn(linKeys))
+				call := rec.Invoke()
+				switch rng.Intn(3) {
+				case 0:
+					ok := hs.Add(k)
+					rec.Complete(c, LOp{Call: call, Kind: LOpAdd, Key: k, OutOK: ok})
+				case 1:
+					ok := hs.Remove(k)
+					rec.Complete(c, LOp{Call: call, Kind: LOpRemove, Key: k, OutOK: ok})
+				default:
+					ok := hs.Contains(k)
+					rec.Complete(c, LOp{Call: call, Kind: LOpContains, Key: k, OutOK: ok})
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	return rec.History()
+}
+
+func recordMapHistory(e tm.Engine, seed int64) []LOp {
+	m := containers.NewTreeMap(e, 2)
+	rec := NewRecorder(linClients)
+	var wg sync.WaitGroup
+	for c := 0; c < linClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + 200 + int64(c)))
+			for i := 0; i < linOpsPerCli; i++ {
+				k := uint64(rng.Intn(linKeys))
+				call := rec.Invoke()
+				switch rng.Intn(3) {
+				case 0:
+					v := rng.Uint64() >> 1
+					prev, existed := m.Put(k, v)
+					rec.Complete(c, LOp{Call: call, Kind: LOpPut, Key: k, Val: v, OutV: prev, OutOK: existed})
+				case 1:
+					prev, existed := m.Delete(k)
+					rec.Complete(c, LOp{Call: call, Kind: LOpDelete, Key: k, OutV: prev, OutOK: existed})
+				default:
+					v, ok := m.Get(k)
+					rec.Complete(c, LOp{Call: call, Kind: LOpGet, Key: k, OutV: v, OutOK: ok})
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	return rec.History()
+}
+
+func TestContainersLinearizable(t *testing.T) {
+	base := testutil.Seed(t, 1)
+	rounds := 4
+	if testing.Short() {
+		rounds = 2
+	}
+	kinds := []struct {
+		name   string
+		spec   LinSpec
+		record func(tm.Engine, int64) []LOp
+	}{
+		{"queue", QueueSpec(), recordQueueHistory},
+		{"hashset", SetSpec(), recordSetHistory},
+		{"treemap", MapSpec(), recordMapHistory},
+	}
+	for _, k := range kinds {
+		t.Run(k.name, func(t *testing.T) {
+			for round := 0; round < rounds; round++ {
+				for name, e := range linEngines(t) {
+					seed := base + int64(round*1000)
+					h := k.record(e, seed)
+					ok, err := CheckLinearizable(k.spec, h)
+					if err != nil {
+						t.Fatalf("%s seed=%d: %v", name, seed, err)
+					}
+					if !ok {
+						t.Fatalf("%s seed=%d: history not linearizable:\n%+v", name, seed, h)
+					}
+					e.Close()
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,32 @@
+package crashcheck
+
+import (
+	"testing"
+
+	"onefile/internal/pmem"
+)
+
+// TestEnumerateDeterministic proves the crash-point space is well-defined:
+// two enumerations of the same program count the same events.
+func TestEnumerateDeterministic(t *testing.T) {
+	p := NewProgram(1, 6)
+	for _, def := range Engines() {
+		t.Run(def.Name, func(t *testing.T) {
+			a, err := Enumerate(def, pmem.StrictMode, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Enumerate(def, pmem.StrictMode, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("event count not deterministic: %d vs %d", a, b)
+			}
+			if a == 0 {
+				t.Fatal("workload issued no persistence events")
+			}
+			t.Logf("%s: %d events", def.Name, a)
+		})
+	}
+}

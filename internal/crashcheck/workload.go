@@ -1,0 +1,283 @@
+// Package crashcheck is the systematic crash-consistency verifier for every
+// persistent engine in this repository. Where internal/bench's kill test
+// crashes at *random* persistence events, crashcheck enumerates *all* of
+// them: it runs a canonical workload once to count the persistence events
+// (pwb/pfence/drain) it issues, then re-runs it once per event index i,
+// simulating a whole-process crash at exactly event i (the pre-event hook of
+// internal/pmem panics before the event takes effect, and keeps panicking so
+// a "dead" process cannot make anything else durable), invokes pmem.Crash,
+// re-attaches the engine and verifies:
+//
+//   - recovery succeeds (magic, sequence bounds — the engines' own attach
+//     invariants, e.g. core.ErrCorrupt, fail the run);
+//   - the allocator audits clean (talloc.Audit tiles the heap exactly);
+//   - the recovered logical state equals the sequential oracle model after
+//     exactly k committed transactions, where k is the number of Update
+//     calls that returned before the crash or that number plus one (the
+//     in-flight transaction is all-or-nothing, never torn);
+//   - the recovered engine still commits and reads (liveness).
+//
+// In RelaxedMode the device additionally drops a seed-chosen subset of
+// buffered-but-unfenced flushes at the crash, so the same enumeration is
+// swept across device seeds — every failure report carries (engine, mode,
+// device seed, workload seed, event index) and is exactly replayable.
+//
+// The design follows the systematic-enumeration methodology of the PMDK
+// validation line of work (Raad et al.), replacing random kill timing with
+// exhaustive persistence-event coverage.
+package crashcheck
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"onefile/containers"
+	"onefile/internal/tm"
+)
+
+// Root slots used by the canonical workload.
+const (
+	slotQueue = 0 // containers.Queue
+	slotSet   = 1 // containers.HashSet
+	slotMap   = 2 // containers.TreeMap
+	slotGen   = 3 // bare root word: generation counter
+)
+
+// keyUniverse bounds the keys the workload touches, so the verifier can
+// read back set membership exhaustively.
+const keyUniverse = 48
+
+// Workload op kinds.
+const (
+	opEnqueue = iota
+	opDequeue
+	opSetAdd
+	opSetRemove
+	opMapPut
+	opMapDelete
+)
+
+// txnOp is one container operation inside a workload transaction.
+type txnOp struct {
+	kind int
+	key  uint64
+	val  uint64
+}
+
+// txn is one engine transaction of the canonical workload. The first three
+// transactions create the containers (setup 1..3); every later transaction
+// stamps the generation root and applies ops atomically.
+type txn struct {
+	setup int // 0 = none, 1 = queue, 2 = hashset, 3 = treemap
+	gen   uint64
+	ops   []txnOp
+}
+
+// Program is the deterministic transaction list of a canonical workload,
+// plus the oracle model snapshots after each prefix of it.
+type Program struct {
+	Seed   int64
+	txns   []txn
+	states []string // states[k] = digest of the model after k transactions
+}
+
+// NewProgram generates the canonical workload: 3 container-creation
+// transactions followed by txns mixed-operation transactions, all derived
+// from seed. The same (seed, txns) pair always yields the same program, the
+// same persistence-event trace, and the same oracle states.
+func NewProgram(seed int64, txns int) *Program {
+	rng := rand.New(rand.NewSource(seed))
+	p := &Program{Seed: seed}
+	p.txns = append(p.txns, txn{setup: 1}, txn{setup: 2}, txn{setup: 3})
+	for t := 1; t <= txns; t++ {
+		tx := txn{gen: uint64(t)}
+		nops := rng.Intn(4) + 2
+		for i := 0; i < nops; i++ {
+			op := txnOp{key: uint64(rng.Intn(keyUniverse)), val: rng.Uint64() >> 1}
+			switch rng.Intn(6) {
+			case 0:
+				op.kind = opEnqueue
+			case 1:
+				op.kind = opDequeue
+			case 2:
+				op.kind = opSetAdd
+			case 3:
+				op.kind = opSetRemove
+			case 4:
+				op.kind = opMapPut
+			case 5:
+				op.kind = opMapDelete
+			}
+			tx.ops = append(tx.ops, op)
+		}
+		p.txns = append(p.txns, tx)
+	}
+
+	m := newModel()
+	p.states = append(p.states, m.digest())
+	for _, tx := range p.txns {
+		m.apply(tx)
+		p.states = append(p.states, m.digest())
+	}
+	return p
+}
+
+// Len returns the number of transactions in the program.
+func (p *Program) Len() int { return len(p.txns) }
+
+// StateAfter returns the oracle digest after the first k transactions.
+func (p *Program) StateAfter(k int) string { return p.states[k] }
+
+// --- sequential oracle model ---
+
+// model is the executable sequential specification of the workload: plain
+// Go containers mutated by the same deterministic transaction list.
+type model struct {
+	created [3]bool
+	gen     uint64
+	queue   []uint64
+	set     map[uint64]bool
+	kv      map[uint64]uint64
+}
+
+func newModel() *model {
+	return &model{set: map[uint64]bool{}, kv: map[uint64]uint64{}}
+}
+
+func (m *model) apply(t txn) {
+	if t.setup > 0 {
+		m.created[t.setup-1] = true
+		return
+	}
+	m.gen = t.gen
+	for _, op := range t.ops {
+		switch op.kind {
+		case opEnqueue:
+			m.queue = append(m.queue, op.val)
+		case opDequeue:
+			if len(m.queue) > 0 {
+				m.queue = m.queue[1:]
+			}
+		case opSetAdd:
+			m.set[op.key] = true
+		case opSetRemove:
+			delete(m.set, op.key)
+		case opMapPut:
+			m.kv[op.key] = op.val
+		case opMapDelete:
+			delete(m.kv, op.key)
+		}
+	}
+}
+
+// digest renders the model canonically, so two states compare by string
+// equality and failures print readably.
+func (m *model) digest() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "created=%v%v%v gen=%d\n", m.created[0], m.created[1], m.created[2], m.gen)
+	fmt.Fprintf(&b, "queue=%v\n", m.queue)
+	keys := make([]uint64, 0, len(m.set))
+	for k := range m.set {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	fmt.Fprintf(&b, "set=%v\n", keys)
+	keys = keys[:0]
+	for k := range m.kv {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	b.WriteString("map=[")
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%d", k, m.kv[k])
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// --- engine-side execution and read-back ---
+
+// run executes transactions [from, len) of the program on e, calling acked
+// after each Update returns. Container handles are attach-or-create, so run
+// works both on a fresh engine and mid-program (it is only ever called from
+// the start here; handles are created by the setup transactions).
+func (p *Program) run(e tm.Engine, acked func()) {
+	var (
+		q   *containers.Queue
+		hs  *containers.HashSet
+		tmp *containers.TreeMap
+	)
+	for _, t := range p.txns {
+		switch t.setup {
+		case 1:
+			q = containers.NewQueue(e, slotQueue)
+		case 2:
+			hs = containers.NewHashSet(e, slotSet)
+		case 3:
+			tmp = containers.NewTreeMap(e, slotMap)
+		default:
+			tcopy := t
+			e.Update(func(tx tm.Tx) uint64 {
+				tx.Store(tm.Root(slotGen), tcopy.gen)
+				for _, op := range tcopy.ops {
+					switch op.kind {
+					case opEnqueue:
+						q.EnqueueTx(tx, op.val)
+					case opDequeue:
+						q.DequeueTx(tx)
+					case opSetAdd:
+						hs.AddTx(tx, op.key)
+					case opSetRemove:
+						hs.RemoveTx(tx, op.key)
+					case opMapPut:
+						tmp.PutTx(tx, op.key, op.val)
+					case opMapDelete:
+						tmp.DeleteTx(tx, op.key)
+					}
+				}
+				return 0
+			})
+		}
+		acked()
+	}
+}
+
+// readState reads the recovered engine's logical state back into a model
+// digest. It mutates nothing: container constructors on a non-empty root
+// slot only load the existing descriptor.
+func readState(e tm.Engine) string {
+	m := newModel()
+	var roots [4]uint64
+	e.Read(func(tx tm.Tx) uint64 {
+		for i := range roots {
+			roots[i] = tx.Load(tm.Root(i))
+		}
+		return 0
+	})
+	m.created = [3]bool{roots[slotQueue] != 0, roots[slotSet] != 0, roots[slotMap] != 0}
+	m.gen = roots[slotGen]
+	if m.created[0] {
+		q := containers.NewQueue(e, slotQueue)
+		m.queue = q.Snapshot(1 << 20)
+	}
+	if m.created[1] {
+		hs := containers.NewHashSet(e, slotSet)
+		for k := uint64(0); k < keyUniverse; k++ {
+			if hs.Contains(k) {
+				m.set[k] = true
+			}
+		}
+	}
+	if m.created[2] {
+		tmp := containers.NewTreeMap(e, slotMap)
+		for _, ent := range tmp.Range(0, containers.MaxValue, 1<<20) {
+			m.kv[ent.Key] = ent.Val
+		}
+	}
+	return m.digest()
+}

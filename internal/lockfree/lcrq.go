@@ -161,6 +161,16 @@ func (q *LCRQ) Dequeue(tid int) (uint64, bool) {
 			q.dom.Clear(tid)
 			return 0, false
 		}
+		// A successor exists, so the ring is closed — but our emptiness
+		// observation predates loading next, and enqueuers may have landed
+		// items in between (the ring was not closed yet when we looked).
+		// Drain again now: on a closed ring an empty verdict is final, since
+		// every pre-close reservation has been taken or burned and post-close
+		// reservations can never land a value.
+		if v, ok := r.dequeue(); ok {
+			q.dom.Clear(tid)
+			return v, true
+		}
 		// Ring drained and a successor exists: retire it and move on.
 		if q.head.CompareAndSwap(r, next) {
 			rr := r

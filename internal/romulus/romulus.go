@@ -294,9 +294,16 @@ func (e *Engine) combine() {
 		e.dev.RawStore(e.backBase+m.off, e.dev.RawLoad(e.mainBase+m.off))
 	}
 	e.flushMod(e.backBase)
+	// The back replica must be durably whole before IDLE can become
+	// durable: were one fence to cover both, a crash could keep the
+	// buffered IDLE write-back while dropping part of the back patch, and
+	// recovery would trust a torn replica. The IDLE write-back itself may
+	// stay buffered (no trailing fence, keeping the cycle at 4 pfences):
+	// if it is lost, the durable state remains COPYING and recovery simply
+	// re-copies main over back.
+	e.dev.Fence(0)
 	e.dev.RawStore(hdrState, stIdle)
 	e.dev.Flush(0, hdrState, 1)
-	e.dev.Fence(0)
 	if e.lr {
 		e.readView.Store(1) // back is consistent again; next cycle mutates main
 	} else {

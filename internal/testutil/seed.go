@@ -1,0 +1,40 @@
+// Package testutil holds small helpers shared by the repository's tests.
+package testutil
+
+import (
+	"flag"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// seedFlag overrides the base seed of randomized tests. Every test binary
+// that links a package importing testutil gets the flag:
+//
+//	go test ./internal/core -run TestCrashTorture -seed 42
+//
+// The ONEFILE_SEED environment variable is the equivalent override for
+// whole-tree runs (go test ./... forwards flags to every package, including
+// ones that do not define -seed, so the env var is the safe spelling there).
+var seedFlag = flag.Int64("seed", 0, "base seed for randomized tests (0 = test default; env ONEFILE_SEED)")
+
+// Seed returns the base seed a randomized test should use: the -seed flag
+// if set, else the ONEFILE_SEED environment variable if set, else def. The
+// choice is logged so every failure is reproducible.
+func Seed(tb testing.TB, def int64) int64 {
+	tb.Helper()
+	s := def
+	src := "default"
+	if v := os.Getenv("ONEFILE_SEED"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			s, src = n, "ONEFILE_SEED"
+		} else {
+			tb.Fatalf("testutil: bad ONEFILE_SEED %q: %v", v, err)
+		}
+	}
+	if *seedFlag != 0 {
+		s, src = *seedFlag, "-seed"
+	}
+	tb.Logf("base seed %d (%s; replay with -seed %d or ONEFILE_SEED=%d)", s, src, s, s)
+	return s
+}

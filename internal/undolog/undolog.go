@@ -10,10 +10,11 @@
 // non-truncated log, which yields all-or-nothing transactions: a
 // transaction is durably committed exactly when its log truncation is.
 //
-// The per-store persistence traffic (one pwb + pfence per written word,
-// plus the commit and truncation fences) is the cost profile the paper
-// summarises for PMDK as ~2.25·Nw pwbs and 2+2·Nw pfences per transaction,
-// against which OneFile's fence-free commit is compared.
+// The per-store persistence traffic (one pwb+pfence for the log entry and
+// one for the count that covers it, plus the commit and truncation fences)
+// is the cost profile the paper summarises for PMDK as ~2.25·Nw pwbs and
+// 2+2·Nw pfences per transaction, against which OneFile's fence-free
+// commit is compared.
 package undolog
 
 import (
@@ -323,12 +324,9 @@ func (e *Engine) validate(c *txCtx) bool {
 // commit point), and releases the locks with a fresh version.
 func (e *Engine) commit(c *txCtx) {
 	if c.n > 0 {
-		// The complete log (count included) must be durable before any
-		// in-place data becomes durable, so a mid-commit crash can roll
-		// back.
-		e.dev.RawStore(c.logOff, uint64(c.n))
-		e.dev.Flush(c.id, c.logOff, 1)
-		e.dev.Fence(c.id)
+		// Store already persisted the complete log (count included) with a
+		// fence per entry, so the modified words can be flushed directly; a
+		// mid-commit crash rolls the whole transaction back.
 		for _, a := range c.dirty {
 			e.dev.Flush(c.id, e.dataBase+int(a), 1)
 		}
@@ -429,9 +427,17 @@ func (t *uTx) Store(p tm.Ptr, v uint64) {
 	ent := c.logOff + 1 + 2*c.n
 	e.dev.RawStore(ent, addr)
 	e.dev.RawStore(ent+1, old)
+	e.dev.Flush(c.id, ent, 2) // write-ahead: entry durable before the store
+	e.dev.Fence(c.id)
+	// Publish the count only after the entry it covers is durably fenced.
+	// The count word shares a line with the first entries, so flushing the
+	// count and the entry together would let a crash between the two lines
+	// of a boundary-straddling entry persist a count that covers a torn
+	// entry — recovery would then roll committed words back to a stale
+	// pre-image left in the slot by an earlier transaction.
 	c.n++
 	e.dev.RawStore(c.logOff, uint64(c.n))
-	e.dev.Flush(c.id, ent, 2) // write-ahead: entry durable before the store
+	e.dev.Flush(c.id, c.logOff, 1)
 	e.dev.Fence(c.id)
 	e.dev.RawStore(e.dataBase+int(addr), v)
 	dup := false
