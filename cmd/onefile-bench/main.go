@@ -6,18 +6,26 @@
 //	onefile-bench -fig 2 [-threads 1,2,4,8] [-dur 1s]
 //	onefile-bench -fig 12 -kill
 //	onefile-bench -table 1
-//	onefile-bench -all
+//	onefile-bench -all [-json BENCH_results.json]
+//	onefile-bench -all -quick -json BENCH_results.json
+//	onefile-bench -fig 8 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Figures: 2 (SPS), 3 (SPS+alloc), 4 (queues), 5 (list sets), 6 (trees),
 // 7 (latency percentiles), 8 (persistent SPS), 9 (persistent lists),
 // 10 (persistent trees), 11 (persistent hash), 12 (persistent queues /
 // kill test). Table: 1 (pwb/pfence/CAS per transaction).
+//
+// -json additionally writes every data point as a machine-readable report
+// (internal/bench.Report). -quick shrinks durations and working sets for a
+// smoke run (CI uses it to exercise the full matrix in seconds).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -35,6 +43,22 @@ var (
 	threadsFlag = flag.String("threads", "1,2,4,8", "comma-separated thread counts to sweep")
 	durFlag     = flag.Duration("dur", 500*time.Millisecond, "measurement duration per data point")
 	keysFlag    = flag.Int("keys", 0, "override the working-set size of set benchmarks")
+	entriesFlag = flag.Int("entries", 0, "override the SPS array size")
+	quickFlag   = flag.Bool("quick", false, "smoke-run preset: -dur 50ms -threads 1,2,4 -keys 256 -entries 8192")
+	jsonFlag    = flag.String("json", "", "also write the results as a JSON report to this file")
+	cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+)
+
+// The collector mirrors everything header/row print into the JSON report
+// (when -json is given). curFigName is the programmatic key of the figure
+// being produced; header opens a new figure under it.
+var (
+	report     *bench.Report
+	curFigName string
+	curXLabel  string
+	curFig     *bench.Figure
+	curCols    []string
 )
 
 func main() {
@@ -46,10 +70,67 @@ func main() {
 }
 
 func run() error {
+	if *quickFlag {
+		if *durFlag == 500*time.Millisecond {
+			*durFlag = 50 * time.Millisecond
+		}
+		if *threadsFlag == "1,2,4,8" {
+			*threadsFlag = "1,2,4"
+		}
+		if *keysFlag == 0 {
+			*keysFlag = 256
+		}
+		if *entriesFlag == 0 {
+			*entriesFlag = 8192
+		}
+	}
 	threads, err := parseThreads(*threadsFlag)
 	if err != nil {
 		return err
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *jsonFlag != "" {
+		report = bench.NewReport("onefile-bench")
+		report.Duration = durFlag.String()
+		report.Threads = threads
+		report.Quick = *quickFlag
+	}
+
+	err = dispatch(threads)
+	if err != nil {
+		return err
+	}
+	if report != nil {
+		if err := report.WriteFile(*jsonFlag); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s (%d figures)\n", *jsonFlag, len(report.Figures))
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func dispatch(threads []int) error {
 	if *allFlag {
 		for fig := 2; fig <= 12; fig++ {
 			if err := runFig(fig, threads); err != nil {
@@ -90,6 +171,11 @@ func opts(heap int) []tm.Option {
 	}
 }
 
+// figure sets the JSON context for the header/row calls that follow.
+func figure(name, xlabel string) {
+	curFigName, curXLabel = name, xlabel
+}
+
 func header(title string, cols ...string) {
 	fmt.Printf("\n== %s ==\n", title)
 	fmt.Printf("%-14s", "series")
@@ -97,6 +183,10 @@ func header(title string, cols ...string) {
 		fmt.Printf(" %12s", c)
 	}
 	fmt.Println()
+	curCols = cols
+	if report != nil {
+		curFig = report.AddFigure(curFigName, title, curXLabel)
+	}
 }
 
 func row(series string, vals ...float64) {
@@ -105,6 +195,22 @@ func row(series string, vals ...float64) {
 		fmt.Printf(" %12.0f", v)
 	}
 	fmt.Println()
+	if curFig != nil {
+		for i, v := range vals {
+			label := ""
+			if i < len(curCols) {
+				label = curCols[i]
+			}
+			curFig.Add(series, label, v)
+		}
+	}
+}
+
+func spsEntries(def int) int {
+	if *entriesFlag > 0 {
+		return *entriesFlag
+	}
+	return def
 }
 
 func runFig(fig int, threads []int) error {
@@ -112,8 +218,10 @@ func runFig(fig int, threads []int) error {
 	case 2, 3:
 		alloc := fig == 3
 		title := "Fig. 2: SPS (volatile), swaps/s"
+		figure("fig2", "swaps_per_tx")
 		if alloc {
 			title = "Fig. 3: SPS with allocation (volatile), swaps/s"
+			figure("fig3", "swaps_per_tx")
 		}
 		swaps := []int{1, 4, 16, 64, 256}
 		for _, th := range threads {
@@ -127,7 +235,7 @@ func runFig(fig int, threads []int) error {
 						return err
 					}
 					vals = append(vals, bench.SPS(e, bench.SPSConfig{
-						Entries: 1000, SwapsPerTx: r, Threads: th,
+						Entries: spsEntries(1000), SwapsPerTx: r, Threads: th,
 						Duration: *durFlag, Alloc: alloc,
 					}))
 				}
@@ -135,6 +243,7 @@ func runFig(fig int, threads []int) error {
 			}
 		}
 	case 4:
+		figure("fig4", "threads")
 		header("Fig. 4: queues (volatile), enq/deq pairs/s", labels("t=", threads)...)
 		for _, eng := range bench.VolatileEngines {
 			vals := make([]float64, 0, len(threads))
@@ -162,14 +271,17 @@ func runFig(fig int, threads []int) error {
 		}
 	case 5, 6:
 		kind, keys, hm, title := "list", 1000, "Harris-HE", "Fig. 5: linked-list sets (volatile), ops/s"
+		figure("fig5", "threads")
 		if fig == 6 {
 			kind, keys, hm, title = "tree", 10000, "NataHE", "Fig. 6: tree sets (volatile), ops/s"
+			figure("fig6", "threads")
 		}
 		if *keysFlag > 0 {
 			keys = *keysFlag
 		}
 		return setSweep(title, kind, keys, bench.VolatileEngines, false, hm, threads)
 	case 7:
+		figure("fig7", "percentile")
 		cols := make([]string, len(bench.Percentiles))
 		for i, p := range bench.Percentiles {
 			cols[i] = fmt.Sprintf("p%v µs", p)
@@ -186,6 +298,7 @@ func runFig(fig int, threads []int) error {
 			}
 		}
 	case 8:
+		figure("fig8", "swaps_per_tx")
 		swaps := []int{1, 4, 16, 64, 256}
 		for _, th := range threads {
 			header(fmt.Sprintf("Fig. 8: persistent SPS — %d threads, swaps/s", th),
@@ -198,13 +311,14 @@ func runFig(fig int, threads []int) error {
 						return err
 					}
 					vals = append(vals, bench.SPS(e, bench.SPSConfig{
-						Entries: 1000000, SwapsPerTx: r, Threads: th, Duration: *durFlag,
+						Entries: spsEntries(1000000), SwapsPerTx: r, Threads: th, Duration: *durFlag,
 					}))
 				}
 				row(eng, vals...)
 			}
 		}
 	case 9:
+		figure("fig9", "threads")
 		keys := 1000
 		if *keysFlag > 0 {
 			keys = *keysFlag
@@ -212,6 +326,7 @@ func runFig(fig int, threads []int) error {
 		return setSweep("Fig. 9: persistent linked-list sets, ops/s", "list", keys,
 			bench.PersistentEngines, true, "", threads)
 	case 10:
+		figure("fig10", "threads")
 		keys := 100000 // the paper fills 10^6; reduce via -keys for quick runs
 		if *keysFlag > 0 {
 			keys = *keysFlag
@@ -219,6 +334,7 @@ func runFig(fig int, threads []int) error {
 		return setSweep("Fig. 10: persistent red-black trees, ops/s", "tree", keys,
 			bench.PersistentEngines, true, "", threads)
 	case 11:
+		figure("fig11", "threads")
 		keys := 10000
 		if *keysFlag > 0 {
 			keys = *keysFlag
@@ -227,6 +343,7 @@ func runFig(fig int, threads []int) error {
 			bench.PersistentEngines, true, "", threads)
 	case 12:
 		if *killFlag {
+			figure("fig12-kill", "threads")
 			header("Fig. 12 (right): two-queue transfer with kills, tx/s", labels("N=", threads)...)
 			for _, eng := range bench.PersistentEngines {
 				for _, kill := range []bool{false, true} {
@@ -252,6 +369,7 @@ func runFig(fig int, threads []int) error {
 			}
 			return nil
 		}
+		figure("fig12", "threads")
 		header("Fig. 12 (left): persistent queues, enq/deq pairs/s", labels("t=", threads)...)
 		for _, eng := range bench.PersistentEngines {
 			vals := make([]float64, 0, len(threads))
@@ -328,18 +446,33 @@ func setSweep(title, kind string, keys int, engines []string, persistent bool, h
 }
 
 func runTable1() error {
+	figure("table1", "nw")
+	var fig *bench.Figure
+	if report != nil {
+		fig = report.AddFigure("table1", "Table I: persistence instructions per update transaction", "nw")
+	}
 	fmt.Println("\n== Table I: persistence instructions per update transaction ==")
 	fmt.Printf("%-12s %4s  %18s %18s %18s\n", "engine", "Nw",
 		"pwb (got/paper)", "pfence (got/paper)", "CAS (got/paper)")
+	iters := 300
+	if *quickFlag {
+		iters = 50
+	}
 	for _, eng := range bench.PersistentEngines {
 		for _, nw := range []int{1, 4, 16, 64} {
-			got, err := bench.MeasureOpCounts(eng, nw, 300)
+			got, err := bench.MeasureOpCounts(eng, nw, iters)
 			if err != nil {
 				return err
 			}
 			pw, pf, cas := bench.PaperOpCounts(eng, nw)
 			fmt.Printf("%-12s %4d  %8.2f / %-7.2f %8.2f / %-7.2f %8.2f / %-7.2f\n",
 				eng, nw, got.Pwb, pw, got.Pfence, pf, got.CAS, cas)
+			if fig != nil {
+				label := fmt.Sprintf("Nw=%d", nw)
+				fig.Add(eng+" pwb", label, got.Pwb)
+				fig.Add(eng+" pfence", label, got.Pfence)
+				fig.Add(eng+" cas", label, got.CAS)
+			}
 		}
 	}
 	return nil

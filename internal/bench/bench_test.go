@@ -163,11 +163,13 @@ func TestKillTestNoKill(t *testing.T) {
 // TestTable1OneFileCounts verifies the paper's Table I formulas for the
 // OneFile PTMs exactly in their CAS column and within a small tolerance for
 // pwb (the paper's 1.25·N_w ignores the two-word log header; we measure
-// the real line count).
+// the real line count). The words are spaced one pair-region cache line
+// apart, the paper's implicit one-line-per-word regime — the coalesced
+// contiguous case is covered by TestTable1CoalescedContiguous.
 func TestTable1OneFileCounts(t *testing.T) {
 	for _, eng := range []string{"OF-LF-PTM", "OF-WF-PTM"} {
 		for _, nw := range []int{1, 4, 8, 32} {
-			got, err := MeasureOpCounts(eng, nw, 200)
+			got, err := MeasureOpCountsStride(eng, nw, 200, pmem.PairLineWords)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -191,6 +193,30 @@ func TestTable1OneFileCounts(t *testing.T) {
 			if got.Pwb < wantPwb-0.5 || got.Pwb > wantPwb+3.5 {
 				t.Errorf("%s Nw=%d: pwb = %.2f, paper says %.2f", eng, nw, got.Pwb, wantPwb)
 			}
+		}
+	}
+}
+
+// TestTable1CoalescedContiguous pins the flush-coalescing accounting: a
+// contiguous N_w-word write-set persists one pwb per modified pair-region
+// cache line, so the apply phase pays at most ceil(N_w/4)+1 pwbs (the +1
+// for an unaligned first line) instead of the paper's per-word N_w, on top
+// of the log lines and the curTx image.
+func TestTable1CoalescedContiguous(t *testing.T) {
+	for _, nw := range []int{8, 32} {
+		got, err := MeasureOpCounts("OF-LF-PTM", nw, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logLines := float64((2 + 2*nw + 7) / 8)
+		heapLines := float64((nw+pmem.PairLineWords-1)/pmem.PairLineWords + 1)
+		max := logLines + 1 + heapLines
+		if got.Pwb > max+0.01 {
+			t.Errorf("OF-LF-PTM Nw=%d contiguous: pwb = %.2f, coalescing bound is %.0f", nw, got.Pwb, max)
+		}
+		paperPwb, _, _ := PaperOpCounts("OF-LF-PTM", nw)
+		if got.Pwb >= paperPwb {
+			t.Errorf("OF-LF-PTM Nw=%d contiguous: pwb = %.2f, not below the per-word %.2f", nw, got.Pwb, paperPwb)
 		}
 	}
 }

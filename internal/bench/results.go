@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReportSchema versions the JSON layout of Report. Bump it on any
+// incompatible change so downstream tooling can refuse unknown layouts.
+const ReportSchema = 1
+
+// Report is the machine-readable twin of cmd/onefile-bench's text tables:
+// every figure or table run becomes a Figure holding one Series per engine,
+// each a list of (label, x, y) data points. It is what -json emits and what
+// BENCH_*.json files committed to the repository contain.
+type Report struct {
+	Schema   int      `json:"schema"`
+	Tool     string   `json:"tool"`               // producing command
+	Duration string   `json:"duration,omitempty"` // per-point measurement time
+	Threads  []int    `json:"threads,omitempty"`  // swept thread counts
+	Quick    bool     `json:"quick,omitempty"`    // reduced-size smoke run
+	Figures  []Figure `json:"figures"`
+}
+
+// Figure is one experiment: a paper figure (or table) at one sweep setting.
+// Name keys programmatic lookup ("fig2", "table1"); Title is the human
+// header line the text output printed for the same data.
+type Figure struct {
+	Name   string   `json:"name"`
+	Title  string   `json:"title"`
+	XLabel string   `json:"x_label,omitempty"` // meaning of X: "threads", "swaps_per_tx", ...
+	Series []Series `json:"series"`
+}
+
+// Series is one engine's (or variant's) curve within a figure.
+type Series struct {
+	Name   string      `json:"name"`
+	Points []DataPoint `json:"points"`
+}
+
+// DataPoint is one measurement. Label is the column header of the text
+// table ("r=16", "t=4", "p99 µs"); X is its numeric value when one can be
+// parsed (otherwise the column index); Y the measured value.
+type DataPoint struct {
+	Label string  `json:"label"`
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+}
+
+// NewReport creates an empty report for the given producing tool.
+func NewReport(tool string) *Report {
+	return &Report{Schema: ReportSchema, Tool: tool}
+}
+
+// AddFigure appends and returns a new figure. Figures with the same name
+// may repeat (one per sweep setting); consumers group by Name+Title.
+func (r *Report) AddFigure(name, title, xlabel string) *Figure {
+	r.Figures = append(r.Figures, Figure{Name: name, Title: title, XLabel: xlabel})
+	return &r.Figures[len(r.Figures)-1]
+}
+
+// Add appends one data point to the named series, creating the series on
+// first use. X is parsed from the label (see ParseLabelX) with the point
+// index as fallback.
+func (f *Figure) Add(series, label string, y float64) {
+	x, ok := ParseLabelX(label)
+	var s *Series
+	for i := range f.Series {
+		if f.Series[i].Name == series {
+			s = &f.Series[i]
+			break
+		}
+	}
+	if s == nil {
+		f.Series = append(f.Series, Series{Name: series})
+		s = &f.Series[len(f.Series)-1]
+	}
+	if !ok {
+		x = float64(len(s.Points))
+	}
+	s.Points = append(s.Points, DataPoint{Label: label, X: x, Y: y})
+}
+
+// ParseLabelX extracts the numeric sweep value from a column label: the
+// first number appearing after an '=' ("r=16" → 16), or the first number in
+// the label otherwise ("p99 µs" → 99).
+func ParseLabelX(label string) (float64, bool) {
+	s := label
+	if i := strings.IndexByte(s, '='); i >= 0 {
+		s = s[i+1:]
+	}
+	start := -1
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c >= '0' && c <= '9') || c == '.' || (start < 0 && c == '-') {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			s = s[:i]
+			break
+		}
+	}
+	if start < 0 {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(s[start:], 64)
+	return v, err == nil
+}
+
+// Marshal renders the report as indented JSON with a trailing newline.
+func (r *Report) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile writes the report to path.
+func (r *Report) WriteFile(path string) error {
+	b, err := r.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// ReadReport parses a report file and validates its schema.
+func ReadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	if r.Schema != ReportSchema {
+		return nil, fmt.Errorf("bench: %s has schema %d, tool understands %d", path, r.Schema, ReportSchema)
+	}
+	return &r, nil
+}

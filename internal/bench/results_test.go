@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestReportRoundTrip(t *testing.T) {
+	r := NewReport("onefile-bench")
+	r.Duration = "500ms"
+	r.Threads = []int{1, 2, 4}
+	f := r.AddFigure("fig2", "Fig. 2: SPS (volatile), swaps/s — 4 threads", "swaps_per_tx")
+	f.Add("OF-LF", "r=1", 3463893)
+	f.Add("OF-LF", "r=4", 5205320)
+	f.Add("OF-WF", "r=1", 1758810)
+	tab := r.AddFigure("table1", "Table I", "nw")
+	tab.Add("OF-LF-PTM pwb", "Nw=4", 5)
+
+	b, err := r.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Report
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("round-trip unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(&got, r) {
+		t.Fatalf("round trip changed the report:\n got %+v\nwant %+v", got, *r)
+	}
+	if got.Figures[0].Series[0].Points[1].X != 4 {
+		t.Fatalf("label X not parsed: %+v", got.Figures[0].Series[0].Points[1])
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	rr, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rr, r) {
+		t.Fatal("file round trip changed the report")
+	}
+}
+
+func TestReportSchemaRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema": 99, "tool": "x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(path); err == nil {
+		t.Fatal("schema 99 accepted")
+	}
+}
+
+func TestParseLabelX(t *testing.T) {
+	cases := []struct {
+		label string
+		x     float64
+		ok    bool
+	}{
+		{"r=16", 16, true},
+		{"t=4", 4, true},
+		{"Nw=64", 64, true},
+		{"p99.9 µs", 99.9, true},
+		{"p50 µs", 50, true},
+		{"update ratio 0.1%", 0.1, true},
+		{"plain", 0, false},
+	}
+	for _, c := range cases {
+		x, ok := ParseLabelX(c.label)
+		if x != c.x || ok != c.ok {
+			t.Errorf("ParseLabelX(%q) = %v,%v want %v,%v", c.label, x, ok, c.x, c.ok)
+		}
+	}
+}
+
+// TestCommittedBenchResults parses the BENCH_*.json files committed at the
+// repository root, keeping them loadable by the current schema.
+func TestCommittedBenchResults(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Skip("no committed BENCH_*.json files")
+	}
+	for _, m := range matches {
+		r, err := ReadReport(m)
+		if err != nil {
+			t.Errorf("%s: %v", m, err)
+			continue
+		}
+		if len(r.Figures) == 0 {
+			t.Errorf("%s: no figures", m)
+		}
+		for _, f := range r.Figures {
+			for _, s := range f.Series {
+				if len(s.Points) == 0 {
+					t.Errorf("%s: %s/%s has no points", m, f.Name, s.Name)
+				}
+			}
+		}
+	}
+}

@@ -15,6 +15,23 @@
 // which yields lock-free progress; the wait-free variants additionally
 // publish whole operations so that helping threads execute them on the
 // caller's behalf (§III-E).
+//
+// Hot-path disciplines (beyond the paper, for the Go platform):
+//
+//   - Pair recycling. The emulated DCAS (package dcas) swings a pointer to
+//     an immutable {value, sequence} Pair, which in the naive form
+//     allocates one Pair per applied word. Every transaction announces its
+//     start sequence as a hazard era (package he); a Pair replaced at era r
+//     is pushed to the replacing slot's retire queue and recycled once no
+//     announced era is ≤ r — any thread still holding the Pair announced an
+//     era no later than the replacement (see DESIGN.md §2). Steady-state
+//     update transactions therefore allocate no Pairs.
+//   - Flush coalescing. The apply phase persists one pwb per modified
+//     pair-region cache line (4 TM words) instead of one per word — the
+//     paper's §IV accounting.
+//   - False-sharing avoidance. Contended per-slot words (claim flag,
+//     request/numStores, operation slot, stats) each sit on their own
+//     cache line, as do curTx and the claim hint.
 package core
 
 import (
@@ -47,15 +64,49 @@ const (
 	magicVal = 0x0F11E_60_0001
 )
 
+// Pair-pool tuning.
+const (
+	// poolScanEvery is how many retired pairs a slot accumulates before it
+	// runs a reclamation scan (one bounded pass over the era array).
+	poolScanEvery = 64
+	// poolMaxFree caps a slot's free list; overflow is left to the GC.
+	poolMaxFree = 8192
+)
+
 // abortSignal is the panic value used to unwind an aborted transaction body
 // (the paper's AbortedTxException). It never escapes the engine.
 type abortSignal struct{}
 
+// pairPool recycles the dcas.Pairs a slot's apply phase replaces. All
+// fields are owner-private. Retired pairs carry the era (curTx sequence) at
+// which they were unlinked; eras are appended in non-decreasing order, so
+// reclamation pops the prefix older than the minimum announced era.
+type pairPool struct {
+	free      []*dcas.Pair
+	retired   []*dcas.Pair
+	eras      []uint64
+	sinceScan int
+}
+
+// slotStats are one slot's operation counters: owner-written (uncontended),
+// summed by Engine.Stats. Exactly one cache line.
+type slotStats struct {
+	commits     atomic.Uint64
+	aborts      atomic.Uint64
+	readCommits atomic.Uint64
+	readAborts  atomic.Uint64
+	helps       atomic.Uint64
+	cas         atomic.Uint64
+	dcas        atomic.Uint64
+	aggregated  atomic.Uint64
+}
+
 // slot is one thread slot: registration state, the slot's write-set/redo
-// log, and the wait-free operation publication point.
+// log, and the wait-free operation publication point. Owner-private fields
+// come first; each shared-hot atomic below sits on its own cache line so
+// helpers polling one slot never invalidate a neighbour's.
 type slot struct {
-	id      int
-	claimed atomic.Uint32
+	id int
 
 	// request holds the slot's transaction identifier while its committed
 	// write-set still needs applying ("open"), and that identifier plus
@@ -68,12 +119,30 @@ type slot struct {
 	ws      writeSet
 	helpBuf []uint64 // scratch for copying another slot's write-set
 
-	// Wait-free operation publication (§III-E).
-	opSlot atomic.Pointer[opDesc]
-	opTag  uint64 // owner-private monotonic tag for this slot's ops
+	pool       pairPool
+	replaced   []*dcas.Pair // pairs unlinked by the current apply phase
+	flushAddrs []uint64     // scratch for sorting dirty words by cache line
 
-	// localReq backs request/logNum for the volatile engines.
+	// Reusable transaction handles (their address escapes through the
+	// tm.Tx interface, so per-transaction values would heap-allocate).
+	utx uTx
+	rtx rTx
+
+	opTag uint64 // owner-private monotonic tag for this slot's ops
+
+	_ [64]byte
+	// claimed is CASed by every acquiring thread.
+	claimed atomic.Uint32
+	_       [60]byte
+	// Wait-free operation publication (§III-E), polled by every aggregate.
+	opSlot atomic.Pointer[opDesc]
+	_      [56]byte
+	// localReq backs request/logNum for the volatile engines; helpers and
+	// pending() poll it from every thread.
 	localReq [2]atomic.Uint64
+	_        [48]byte
+	st       slotStats
+	_        [64]byte
 }
 
 // opDesc is a published wait-free operation: the Go closure standing in for
@@ -90,18 +159,6 @@ type opDesc struct {
 	reclaimed atomic.Bool
 }
 
-type engineStats struct {
-	commits      atomic.Uint64
-	aborts       atomic.Uint64
-	readCommits  atomic.Uint64
-	readAborts   atomic.Uint64
-	helps        atomic.Uint64
-	cas          atomic.Uint64
-	dcas         atomic.Uint64
-	aggregated   atomic.Uint64
-	heViolations atomic.Uint64
-}
-
 // Engine is a OneFile transactional-memory engine. Create one with NewLF,
 // NewWF, NewPersistentLF or NewPersistentWF; all methods are safe for
 // concurrent use by up to MaxThreads goroutines at a time.
@@ -111,19 +168,24 @@ type Engine struct {
 	dev      *pmem.Device // nil for the volatile variants
 
 	words []dcas.Word // the transactional heap: one TM word per tm.Ptr
-	curTx atomic.Uint64
 
-	slots     []slot
-	claimHint atomic.Uint32
+	slots []slot
 
-	eras *he.Eras // closure reclamation domain (wait-free variants)
+	eras *he.Eras // hazard-era domain: pair grace periods + closure reclamation
 
 	curTxImg    int    // pair-region index of curTx's persistent image
 	dynBase     tm.Ptr // first dynamically allocatable heap word
 	resultsBase tm.Ptr // first wait-free result word
 
-	st     engineStats
-	closed atomic.Bool
+	heViolations atomic.Uint64
+	closed       atomic.Bool
+
+	// The two globally contended words, each padded onto its own line.
+	_         [64]byte
+	curTx     atomic.Uint64
+	_         [56]byte
+	claimHint atomic.Uint32
+	_         [60]byte
 }
 
 var (
@@ -231,6 +293,8 @@ func newEngine(cfg tm.Config, waitFree bool, dev *pmem.Device, attach bool) (*En
 		}
 		s.ws = newWriteSet(s.logNum, s.logEnt, cfg.MaxStores)
 		s.helpBuf = make([]uint64, 0)
+		s.utx = uTx{e: e, s: s}
+		s.rtx = rTx{e: e}
 	}
 
 	if attach {
@@ -248,14 +312,14 @@ func (e *Engine) format() {
 	store := func(p tm.Ptr, v uint64) {
 		e.words[p].Store(v, 0)
 		if e.dev != nil {
-			e.dev.FlushPair(0, int(p), e.words[p].Snapshot())
+			e.dev.FlushPair(0, int(p), v, 0)
 		}
 	}
 	talloc.InitDirect(store, e.dynBase, e.cfg.HeapWords)
 	init0 := makeTx(1, 0)
 	e.curTx.Store(init0)
 	if e.dev != nil {
-		e.dev.FlushPair(0, e.curTxImg, &dcas.Pair{Val: init0, Seq: init0})
+		e.dev.FlushPair(0, e.curTxImg, init0, init0)
 		e.dev.RawStore(hdrMagic, magicVal)
 		e.dev.Flush(0, hdrMagic, 1)
 		e.dev.Fence(0)
@@ -322,17 +386,19 @@ func (e *Engine) Name() string {
 	}
 }
 
-// Stats implements tm.Engine.
+// Stats implements tm.Engine: the sum of the per-slot counters.
 func (e *Engine) Stats() tm.Stats {
-	s := tm.Stats{
-		Commits:      e.st.commits.Load(),
-		Aborts:       e.st.aborts.Load(),
-		ReadCommits:  e.st.readCommits.Load(),
-		ReadAborts:   e.st.readAborts.Load(),
-		Helps:        e.st.helps.Load(),
-		CAS:          e.st.cas.Load(),
-		DCAS:         e.st.dcas.Load(),
-		AggregatedOp: e.st.aggregated.Load(),
+	var s tm.Stats
+	for i := range e.slots {
+		st := &e.slots[i].st
+		s.Commits += st.commits.Load()
+		s.Aborts += st.aborts.Load()
+		s.ReadCommits += st.readCommits.Load()
+		s.ReadAborts += st.readAborts.Load()
+		s.Helps += st.helps.Load()
+		s.CAS += st.cas.Load()
+		s.DCAS += st.dcas.Load()
+		s.AggregatedOp += st.aggregated.Load()
 	}
 	if e.dev != nil {
 		d := e.dev.Stats()
@@ -344,7 +410,7 @@ func (e *Engine) Stats() tm.Stats {
 // HEViolations returns how often a hazard-era-protected operation
 // descriptor was observed after reclamation. It must always be zero; tests
 // assert it.
-func (e *Engine) HEViolations() uint64 { return e.st.heViolations.Load() }
+func (e *Engine) HEViolations() uint64 { return e.heViolations.Load() }
 
 // Eras exposes the engine's hazard-era domain (test aid).
 func (e *Engine) Eras() *he.Eras { return e.eras }
@@ -387,10 +453,93 @@ func (e *Engine) acquire() *slot {
 	}
 }
 
-func (e *Engine) release(s *slot) { s.claimed.Store(0) }
+// release clears the slot's era announcement before the claim flag: the
+// next claimant of the same slot announces its own era, and a stale Clear
+// must never stomp it.
+func (e *Engine) release(s *slot) {
+	e.eras.Clear(s.id)
+	s.claimed.Store(0)
+}
 
 // pending reports whether txid is committed but possibly not fully applied:
 // its owner's request still carries the identifier (§III-A).
 func (e *Engine) pending(txid uint64) bool {
 	return e.slots[tidOf(txid)].request.Load() == txid
+}
+
+// --- pair pool ---
+
+// getPair returns a recycled Pair, or allocates while the pool is cold. It
+// never scans the announcement array itself: retirePairs reclaims in
+// batches of poolScanEvery, so a transient empty free list (retirees still
+// inside their grace period) costs a few allocations, not a scan per DCAS.
+func (e *Engine) getPair(s *slot) *dcas.Pair {
+	p := &s.pool
+	if n := len(p.free); n > 0 {
+		pr := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return pr
+	}
+	return dcas.NewPooled()
+}
+
+// putPair returns a never-published candidate pair to the free list.
+func (e *Engine) putPair(s *slot, pr *dcas.Pair) {
+	if len(s.pool.free) < poolMaxFree {
+		s.pool.free = append(s.pool.free, pr)
+	}
+}
+
+// retirePairs hands the apply phase's batch of replaced pairs to the pool.
+// The whole batch shares one retire era — the curTx sequence read here,
+// which is at or after the sequence at every replacing DCAS of the batch.
+func (e *Engine) retirePairs(s *slot) {
+	if len(s.replaced) == 0 {
+		return
+	}
+	era := seqOf(e.curTx.Load())
+	p := &s.pool
+	for i, pr := range s.replaced {
+		p.retired = append(p.retired, pr)
+		p.eras = append(p.eras, era)
+		s.replaced[i] = nil
+	}
+	p.sinceScan += len(s.replaced)
+	s.replaced = s.replaced[:0]
+	if p.sinceScan >= poolScanEvery {
+		e.reclaimPairs(s)
+	}
+}
+
+// reclaimPairs moves retired pairs whose era has expired onto the free
+// list. A pair retired at era r may still be dereferenced only by threads
+// whose announced era is ≤ r (they loaded its pointer before the replacing
+// DCAS, having announced no later than that), so everything retired before
+// the minimum announced era is free — one wait-free pass over the
+// announcement array.
+func (e *Engine) reclaimPairs(s *slot) {
+	p := &s.pool
+	p.sinceScan = 0
+	min := e.eras.MinProtected()
+	n := 0
+	for n < len(p.eras) && p.eras[n] < min {
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		if len(p.free) < poolMaxFree {
+			p.free = append(p.free, p.retired[i])
+		}
+		p.retired[i] = nil
+	}
+	k := copy(p.retired, p.retired[n:])
+	clearTail := p.retired[k:]
+	for i := range clearTail {
+		clearTail[i] = nil
+	}
+	p.retired = p.retired[:k]
+	p.eras = p.eras[:copy(p.eras, p.eras[n:])]
 }

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"onefile/internal/pmem"
+	"onefile/internal/tm"
+)
+
+// Hot-path microbenchmarks. Run with -benchmem: the allocation counts here
+// are the acceptance numbers for the pair-recycling and closure-elimination
+// work (see EXPERIMENTS.md "Go-specific hot-path costs").
+
+func benchOpts() []tm.Option {
+	return []tm.Option{
+		tm.WithHeapWords(1 << 16),
+		tm.WithMaxThreads(8),
+		tm.WithMaxStores(1 << 12),
+	}
+}
+
+func newBenchPTM(b *testing.B, waitFree bool) *Engine {
+	b.Helper()
+	dev, err := pmem.New(DeviceConfig(pmem.StrictMode, 1, benchOpts()...))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var e *Engine
+	if waitFree {
+		e, err = NewPersistentWF(dev, false, benchOpts()...)
+	} else {
+		e, err = NewPersistentLF(dev, false, benchOpts()...)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// updateTxBody is hoisted so the benchmark measures engine allocations, not
+// the cost of materialising a fresh closure per iteration.
+func updateTxBody(tx tm.Tx) uint64 {
+	tx.Store(tm.Root(0), tx.Load(tm.Root(0))+1)
+	return 0
+}
+
+func readTxBody(tx tm.Tx) uint64 { return tx.Load(tm.Root(0)) }
+
+func emptyTxBody(tx tm.Tx) uint64 { return 0 }
+
+func BenchmarkUpdateTx(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		mk   func(b *testing.B) tm.Engine
+	}{
+		{"LF", func(b *testing.B) tm.Engine { return NewLF(benchOpts()...) }},
+		{"WF", func(b *testing.B) tm.Engine { return NewWF(benchOpts()...) }},
+		{"LF-PTM", func(b *testing.B) tm.Engine { return newBenchPTM(b, false) }},
+		{"WF-PTM", func(b *testing.B) tm.Engine { return newBenchPTM(b, true) }},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			e := tc.mk(b)
+			// Warm up free lists / lazy initialisation.
+			for i := 0; i < 1024; i++ {
+				e.Update(updateTxBody)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Update(updateTxBody)
+			}
+		})
+	}
+}
+
+// BenchmarkUpdateTxWide measures a 16-store transaction over two contiguous
+// cache lines — the flush-coalescing showcase on the persistent engines.
+func BenchmarkUpdateTxWide(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		mk   func(b *testing.B) tm.Engine
+	}{
+		{"LF", func(b *testing.B) tm.Engine { return NewLF(benchOpts()...) }},
+		{"LF-PTM", func(b *testing.B) tm.Engine { return newBenchPTM(b, false) }},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			e := tc.mk(b)
+			block := tm.Ptr(e.Update(func(tx tm.Tx) uint64 { return uint64(tx.Alloc(16)) }))
+			body := func(tx tm.Tx) uint64 {
+				for i := tm.Ptr(0); i < 16; i++ {
+					tx.Store(block+i, tx.Load(block+i)+1)
+				}
+				return 0
+			}
+			for i := 0; i < 256; i++ {
+				e.Update(body)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Update(body)
+			}
+		})
+	}
+}
+
+func BenchmarkReadTx(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		mk   func(b *testing.B) tm.Engine
+	}{
+		{"LF", func(b *testing.B) tm.Engine { return NewLF(benchOpts()...) }},
+		{"WF", func(b *testing.B) tm.Engine { return NewWF(benchOpts()...) }},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			e := tc.mk(b)
+			e.Update(updateTxBody)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Read(readTxBody)
+			}
+		})
+	}
+}
+
+func BenchmarkEmptyUpdateTx(b *testing.B) {
+	e := NewLF(benchOpts()...)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Update(emptyTxBody)
+	}
+}
+
+func newBenchWS(capacity int) *writeSet {
+	num := new(atomic.Uint64)
+	ent := make([]atomic.Uint64, 2*capacity)
+	ws := newWriteSet(num, ent, capacity)
+	return &ws
+}
+
+func BenchmarkWriteSetLookupLinear(b *testing.B) {
+	ws := newBenchWS(1 << 10)
+	ws.reset()
+	for i := 0; i < linearMax; i++ {
+		ws.addOrReplace(uint64(100+i), uint64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.lookup(uint64(100 + i%linearMax))
+	}
+}
+
+func BenchmarkWriteSetLookupHashed(b *testing.B) {
+	ws := newBenchWS(1 << 10)
+	ws.reset()
+	n := linearMax * 4
+	for i := 0; i < n; i++ {
+		ws.addOrReplace(uint64(100+i), uint64(i))
+	}
+	if !ws.hashed {
+		b.Fatal("write-set not in hashed regime")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.lookup(uint64(100 + i%n))
+	}
+}
+
+func BenchmarkWriteSetAddOrReplace(b *testing.B) {
+	ws := newBenchWS(1 << 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%16 == 0 {
+			ws.reset()
+		}
+		ws.addOrReplace(uint64(1+i%16), uint64(i))
+	}
+}

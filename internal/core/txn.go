@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"onefile/internal/dcas"
+	"onefile/internal/pmem"
 	"onefile/internal/talloc"
 	"onefile/internal/tm"
 )
@@ -54,8 +55,8 @@ func (t *uTx) Alloc(n int) tm.Ptr { return talloc.Alloc(t, n) }
 // Free implements tm.Tx.
 func (t *uTx) Free(p tm.Ptr) { talloc.Free(t, p) }
 
-// rTx is the read-only transaction handle: seq-validated loads, no
-// mutation.
+// rTx is the read-only transaction handle: seq-validated loads straight off
+// the heap — no write-set consultation, no mutation.
 type rTx struct {
 	e        *Engine
 	startSeq uint64
@@ -78,19 +79,19 @@ func (t *rTx) Store(tm.Ptr, uint64) { panic(tm.ErrUpdateInReadTx) }
 func (t *rTx) Alloc(int) tm.Ptr     { panic(tm.ErrUpdateInReadTx) }
 func (t *rTx) Free(tm.Ptr)          { panic(tm.ErrUpdateInReadTx) }
 
-// catchAbort runs f, absorbing the abort panic. Any other panic propagates.
-func catchAbort(f func()) (aborted bool) {
+// runBody executes fn against tx and reports whether it completed (ok) or
+// aborted on seq validation. The deferred recover captures nothing, so the
+// whole call is allocation-free — unlike wrapping the body in a fresh
+// closure, which costs one heap allocation per attempt.
+func runBody(fn func(tm.Tx) uint64, tx tm.Tx) (res uint64, ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
-			if _, ok := r.(abortSignal); ok {
-				aborted = true
-				return
+			if _, isAbort := r.(abortSignal); !isAbort {
+				panic(r)
 			}
-			panic(r)
 		}
 	}()
-	f()
-	return false
+	return fn(tx), true
 }
 
 // Update implements tm.Engine: a mutative transaction with lock-free
@@ -105,38 +106,43 @@ func (e *Engine) Update(fn func(tx tm.Tx) uint64) uint64 {
 	return e.updateLF(s, fn)
 }
 
-// updateLF is the lock-free update path: the ten steps of §III-B.
+// updateLF is the lock-free update path: the ten steps of §III-B. Each
+// attempt announces its start sequence as the slot's hazard era before any
+// pair can be dereferenced, keeping every pair it may observe out of the
+// recyclers' reach.
 func (e *Engine) updateLF(s *slot, fn func(tx tm.Tx) uint64) uint64 {
 	for {
 		oldTx := e.curTx.Load() // step 1
-		if e.pending(oldTx) {   // step 2: help the ongoing transaction
+		e.eras.Protect(s.id, seqOf(oldTx))
+		if e.pending(oldTx) { // step 2: help the ongoing transaction
 			e.helpApply(oldTx, s)
 			continue
 		}
 		res, ok := e.transform(s, fn, seqOf(oldTx)) // step 3
 		if !ok {
-			e.st.aborts.Add(1)
+			s.st.aborts.Add(1)
 			continue
 		}
 		if s.ws.n == 0 { // step 4: no stores — a read-only body
-			e.st.readCommits.Add(1)
+			s.st.readCommits.Add(1)
 			return res
 		}
 		newTx := makeTx(seqOf(oldTx)+1, s.id)
 		if !e.commitAndApply(s, oldTx, newTx) {
-			e.st.aborts.Add(1)
+			s.st.aborts.Add(1)
 			continue
 		}
 		return res
 	}
 }
 
-// transform runs the user body, building the write-set (redo log).
+// transform runs the user body, building the write-set (redo log). It
+// reuses the slot's embedded transaction handle: a stack-local one would
+// escape through the tm.Tx interface and heap-allocate per attempt.
 func (e *Engine) transform(s *slot, fn func(tx tm.Tx) uint64, startSeq uint64) (res uint64, ok bool) {
 	s.ws.reset()
-	tx := uTx{e: e, s: s, startSeq: startSeq}
-	aborted := catchAbort(func() { res = fn(&tx) })
-	return res, !aborted
+	s.utx.startSeq = startSeq
+	return runBody(fn, &s.utx)
 }
 
 // commitAndApply performs steps 5–10 of §III-B: open the request, persist
@@ -151,16 +157,16 @@ func (e *Engine) commitAndApply(s *slot, oldTx, newTx uint64) bool {
 		// and numStores words share the log's first line).
 		e.dev.Flush(s.id, s.logOff, 2+2*s.ws.n)
 	}
-	e.st.cas.Add(1)
+	s.st.cas.Add(1)
 	if !e.curTx.CompareAndSwap(oldTx, newTx) { // step 7: commit
 		return false
 	}
-	e.st.commits.Add(1)
+	s.st.commits.Add(1)
 	if e.dev != nil {
 		// The successful CAS orders the prior pwbs (x86: a locked RMW
 		// acts as a persistence fence) — hence Drain, not Fence.
 		e.dev.Drain(s.id)
-		e.dev.FlushPair(s.id, e.curTxImg, &dcas.Pair{Val: newTx, Seq: newTx})
+		e.dev.FlushPair(s.id, e.curTxImg, newTx, newTx)
 		// The first DCAS of the apply phase orders curTx's pwb.
 		e.dev.Drain(s.id)
 	}
@@ -170,39 +176,98 @@ func (e *Engine) commitAndApply(s *slot, oldTx, newTx uint64) bool {
 }
 
 // applyOwn applies the slot's own write-set (no snapshot copy needed: the
-// owner's log is frozen until its request closes).
+// owner's log is frozen until its request closes), reading the owner-private
+// mirror instead of the shared atomic log. The DCAS loop runs first; the
+// replaced pairs are then retired as one batch and, on the persistent
+// variants, the modified words are flushed with one pwb per cache line.
 func (e *Engine) applyOwn(s *slot, txid uint64) {
 	n := uint64(s.ws.n)
 	seq := seqOf(txid)
 	for i := uint64(0); i < n; i++ {
 		j := (uint64(s.id)*8 + i) % n
-		addr := s.logEnt[2*j].Load()
-		val := s.logEnt[2*j+1].Load()
-		e.applyWord(s, addr, val, seq)
+		e.applyWord(s, s.ws.keys[j], s.ws.vals[j], seq)
+	}
+	e.retirePairs(s)
+	if e.dev != nil {
+		e.flushWords(s, s.ws.keys[:n], 1)
 	}
 }
 
-// applyWord performs the seq-guarded DCAS of Alg. 1 on one heap word and,
-// on the persistent variants, flushes the word's current content (step 9 —
-// every address is flushed even when another helper won the DCAS, so the
-// word is durable before the request closes).
+// applyWord performs the seq-guarded DCAS of Alg. 1 on one heap word. The
+// candidate pair comes from the slot's pool and survives CAS retries (on
+// failure it stays private and is reused); the replaced pair joins the
+// slot's retire batch. Persistence of the word is deferred to the caller's
+// coalesced flush pass.
 func (e *Engine) applyWord(s *slot, addr, val, seq uint64) {
 	if addr == 0 || addr >= uint64(e.cfg.HeapWords) {
 		return // defensive: a corrupt recovered log must not crash apply
 	}
 	w := &e.words[addr]
+	var n *dcas.Pair
 	for {
 		p := w.Snapshot()
 		if p.Seq >= seq {
-			break // already applied (possibly by a newer transaction)
+			// Already applied (possibly by a newer transaction).
+			if n != nil {
+				e.putPair(s, n)
+			}
+			return
 		}
-		e.st.dcas.Add(1)
-		if w.CompareAndSwap(p, val, seq) {
-			break
+		if n == nil {
+			n = e.getPair(s)
+			n.Val, n.Seq = val, seq
+		}
+		s.st.dcas.Add(1)
+		if w.CompareAndSwapPair(p, n) {
+			if p != dcas.Zero {
+				s.replaced = append(s.replaced, p)
+			}
+			return
 		}
 	}
-	if e.dev != nil {
-		e.dev.FlushPair(s.id, int(addr), w.Snapshot())
+}
+
+// flushWords persists the current content of every heap word listed in
+// addrs (step 9 — every address is flushed even when another helper won the
+// DCAS, so the word is durable before the request closes). Addresses are
+// read from addrs at the given stride (1 for the write-set key mirror, 2
+// for an interleaved addr/value log copy), sorted, and flushed with one pwb
+// per pair-region cache line — the §IV pwb accounting. The pair snapshots
+// are taken at flush time; the device's monotonic per-word guard makes a
+// concurrently advanced word harmless.
+func (e *Engine) flushWords(s *slot, addrs []uint64, stride int) {
+	buf := s.flushAddrs[:0]
+	for i := 0; i < len(addrs); i += stride {
+		buf = append(buf, addrs[i])
+	}
+	sortUint64(buf)
+	s.flushAddrs = buf
+
+	var (
+		idx  [pmem.PairLineWords]int
+		vals [pmem.PairLineWords]uint64
+		seqs [pmem.PairLineWords]uint64
+	)
+	k := 0
+	curLine := -1
+	prev := ^uint64(0)
+	for _, addr := range buf {
+		if addr == 0 || addr >= uint64(e.cfg.HeapWords) || addr == prev {
+			continue // defensive, mirroring applyWord; dedupe repeats
+		}
+		prev = addr
+		line := int(addr) / pmem.PairLineWords
+		if k > 0 && line != curLine {
+			e.dev.FlushPairLine(s.id, k, &idx, &vals, &seqs)
+			k = 0
+		}
+		curLine = line
+		p := e.words[addr].Snapshot()
+		idx[k], vals[k], seqs[k] = int(addr), p.Val, p.Seq
+		k++
+	}
+	if k > 0 {
+		e.dev.FlushPairLine(s.id, k, &idx, &vals, &seqs)
 	}
 }
 
@@ -213,13 +278,14 @@ func (e *Engine) closeRequest(s *slot, txid uint64) {
 	if e.dev != nil {
 		e.dev.Drain(s.id) // the close CAS orders the apply-phase pwbs
 	}
-	e.st.cas.Add(1)
+	s.st.cas.Add(1)
 	owner.request.CompareAndSwap(txid, txid+1)
 }
 
 // helpApply applies the committed-but-unapplied transaction txid on behalf
 // of its owner: copy the owner's write-set, re-validate the request, then
-// run the same apply phase the owner would (§III-A).
+// run the same apply phase the owner would (§III-A). The helper must have
+// announced an era ≤ seqOf(txid) (callers announce before observing txid).
 func (e *Engine) helpApply(txid uint64, helper *slot) {
 	owner := &e.slots[tidOf(txid)]
 	if owner.request.Load() != txid {
@@ -239,11 +305,11 @@ func (e *Engine) helpApply(txid uint64, helper *slot) {
 	if owner.request.Load() != txid {
 		return // the write-set was re-used; the transaction is done
 	}
-	e.st.helps.Add(1)
+	helper.st.helps.Add(1)
 	if e.dev != nil {
 		// A helper persists curTx before applying, so a word flushed at
 		// sequence s is never durable before curTx reaches s (§III-D).
-		e.dev.FlushPair(helper.id, e.curTxImg, &dcas.Pair{Val: txid, Seq: txid})
+		e.dev.FlushPair(helper.id, e.curTxImg, txid, txid)
 		e.dev.Drain(helper.id)
 	}
 	seq := seqOf(txid)
@@ -251,6 +317,10 @@ func (e *Engine) helpApply(txid uint64, helper *slot) {
 	for i := uint64(0); i < n; i++ {
 		j := (tid*8 + i) % n
 		e.applyWord(helper, buf[2*j], buf[2*j+1], seq)
+	}
+	e.retirePairs(helper)
+	if e.dev != nil {
+		e.flushWords(helper, buf, 2)
 	}
 	e.closeRequest(helper, txid)
 }
@@ -260,23 +330,43 @@ func (e *Engine) helpApply(txid uint64, helper *slot) {
 // view), then runs the body with seq-validated loads, retrying on
 // validation failure. On the wait-free variants a body that fails ReadTries
 // times is published as an operation, bounding the retries (§III-E).
+//
+// The fast path snapshots curTx exactly once, reuses the slot's embedded
+// read handle and runs the body with no closure — a conflict-free read-only
+// transaction performs one atomic load beyond the body's own.
 func (e *Engine) Read(fn func(tx tm.Tx) uint64) uint64 {
 	s := e.acquire()
 	defer e.release(s)
 	for tries := 0; ; tries++ {
 		oldTx := e.curTx.Load()
+		e.eras.Protect(s.id, seqOf(oldTx))
 		if e.pending(oldTx) {
 			e.helpApply(oldTx, s)
 		}
-		tx := rTx{e: e, startSeq: seqOf(oldTx)}
-		var res uint64
-		if !catchAbort(func() { res = fn(&tx) }) {
-			e.st.readCommits.Add(1)
+		s.rtx.startSeq = seqOf(oldTx)
+		if res, ok := runBody(fn, &s.rtx); ok {
+			s.st.readCommits.Add(1)
 			return res
 		}
-		e.st.readAborts.Add(1)
+		s.st.readAborts.Add(1)
 		if e.waitFree && tries+1 >= e.cfg.ReadTries {
 			return e.publishAndRun(s, fn)
+		}
+	}
+}
+
+// sortUint64 is an allocation-free insertion/shell sort for the small
+// address batches of flushWords (write-sets are at most MaxStores long and
+// typically tiny; slices.Sort's generic machinery is no faster here).
+func sortUint64(a []uint64) {
+	for gap := len(a) / 2; gap > 0; gap /= 2 {
+		for i := gap; i < len(a); i++ {
+			v := a[i]
+			j := i
+			for ; j >= gap && a[j-gap] > v; j -= gap {
+				a[j] = a[j-gap]
+			}
+			a[j] = v
 		}
 	}
 }

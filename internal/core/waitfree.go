@@ -37,15 +37,17 @@ func (e *Engine) publishAndRun(s *slot, fn func(tx tm.Tx) uint64) uint64 {
 	return e.updateWF(s, fn)
 }
 
-// runPublished drives a published operation to completion.
+// runPublished drives a published operation to completion. The era is
+// announced before opResult's first pair dereference; the re-validation of
+// curTx afterwards keeps the descriptor-protection argument of §IV-B intact.
 func (e *Engine) runPublished(s *slot, d *opDesc) uint64 {
 	defer e.eras.Clear(s.id)
 	for {
+		oldTx := e.curTx.Load()
+		e.eras.Protect(s.id, seqOf(oldTx))
 		if res, done := e.opResult(s.id, d.tag); done {
 			return res
 		}
-		oldTx := e.curTx.Load()
-		e.eras.Protect(s.id, seqOf(oldTx))
 		if e.curTx.Load() != oldTx {
 			continue // era announcement raced with a commit; re-read
 		}
@@ -55,7 +57,7 @@ func (e *Engine) runPublished(s *slot, d *opDesc) uint64 {
 		}
 		ok := e.transformAggregate(s, seqOf(oldTx))
 		if !ok {
-			e.st.aborts.Add(1)
+			s.st.aborts.Add(1)
 			continue
 		}
 		if s.ws.n == 0 {
@@ -65,7 +67,7 @@ func (e *Engine) runPublished(s *slot, d *opDesc) uint64 {
 		}
 		newTx := makeTx(seqOf(oldTx)+1, s.id)
 		if !e.commitAndApply(s, oldTx, newTx) {
-			e.st.aborts.Add(1)
+			s.st.aborts.Add(1)
 			continue
 		}
 	}
@@ -78,40 +80,49 @@ func (e *Engine) runPublished(s *slot, d *opDesc) uint64 {
 // sequence, and the loser re-reads the tags).
 func (e *Engine) transformAggregate(s *slot, startSeq uint64) bool {
 	s.ws.reset()
-	tx := uTx{e: e, s: s, startSeq: startSeq}
-	aborted := catchAbort(func() {
-		for t := range e.slots {
-			d := e.slots[t].opSlot.Load()
-			if d == nil {
-				continue
-			}
-			if d.birth > startSeq {
-				// Published by a newer era than our snapshot: not
-				// covered by our hazard-era announcement, and
-				// executing it could break isolation. A newer
-				// transaction will pick it up (§IV-B).
-				continue
-			}
-			if d.reclaimed.Load() {
-				// Hazard-era protocol violation (would be a
-				// use-after-free in C++). Never happens; counted so
-				// tests can assert that.
-				e.st.heViolations.Add(1)
-				continue
-			}
-			valW, tagW := e.resultWord(t)
-			if tx.Load(tagW) == d.tag {
-				continue // already executed by a committed transaction
-			}
-			r := d.fn(&tx)
-			tx.Store(valW, r)
-			tx.Store(tagW, d.tag)
-			if t != s.id {
-				e.st.aggregated.Add(1)
-			}
+	s.utx.startSeq = startSeq
+	_, ok := runBody(e.aggregateBody, &s.utx)
+	return ok
+}
+
+// aggregateBody is the body of the aggregate transaction. It is a method
+// value only on the engine (no per-call closure) and pulls the executing
+// slot back out of the transaction handle.
+func (e *Engine) aggregateBody(tx tm.Tx) uint64 {
+	u := tx.(*uTx)
+	s := u.s
+	startSeq := u.startSeq
+	for t := range e.slots {
+		d := e.slots[t].opSlot.Load()
+		if d == nil {
+			continue
 		}
-	})
-	return !aborted
+		if d.birth > startSeq {
+			// Published by a newer era than our snapshot: not
+			// covered by our hazard-era announcement, and
+			// executing it could break isolation. A newer
+			// transaction will pick it up (§IV-B).
+			continue
+		}
+		if d.reclaimed.Load() {
+			// Hazard-era protocol violation (would be a
+			// use-after-free in C++). Never happens; counted so
+			// tests can assert that.
+			e.heViolations.Add(1)
+			continue
+		}
+		valW, tagW := e.resultWord(t)
+		if u.Load(tagW) == d.tag {
+			continue // already executed by a committed transaction
+		}
+		r := d.fn(u)
+		u.Store(valW, r)
+		u.Store(tagW, d.tag)
+		if t != s.id {
+			s.st.aggregated.Add(1)
+		}
+	}
+	return 0
 }
 
 // opResult reports whether slot tid's operation with the given tag has been

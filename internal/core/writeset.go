@@ -17,10 +17,15 @@ const linearMax = 40
 // — live in a shared atomic array so helper threads can copy them during
 // the apply phase; on the persistent engines that array is a window into
 // the emulated NVM device. Everything else (the count under construction,
-// the hash index) is owner-private.
+// the hash index, and a plain mirror of the entries) is owner-private: the
+// transform phase's own lookups read the mirror with ordinary loads, paying
+// the shared array's atomic stores only once per recorded store.
 type writeSet struct {
 	num *atomic.Uint64  // shared store count (numStores), published at commit
 	ent []atomic.Uint64 // shared entries: ent[2i] = address, ent[2i+1] = value
+
+	keys []uint64 // owner-private address mirror (keys[i] == ent[2i])
+	vals []uint64 // owner-private value mirror (vals[i] == ent[2i+1])
 
 	n   int // owner-private count during the transform phase
 	cap int
@@ -42,6 +47,8 @@ func newWriteSet(num *atomic.Uint64, ent []atomic.Uint64, maxStores int) writeSe
 	return writeSet{
 		num:     num,
 		ent:     ent,
+		keys:    make([]uint64, maxStores),
+		vals:    make([]uint64, maxStores),
 		cap:     maxStores,
 		buckets: make([]int32, nb),
 		bver:    make([]uint32, nb),
@@ -77,37 +84,42 @@ func (w *writeSet) bucket(a uint64) *int32 {
 
 // lookup returns the pending value stored for addr, if any. Loads inside an
 // update transaction consult it first so a transaction reads its own writes.
+// Only the owner calls it, so it reads the plain mirror — no atomic ops.
 func (w *writeSet) lookup(addr uint64) (uint64, bool) {
 	if !w.hashed {
 		for i := 0; i < w.n; i++ {
-			if w.ent[2*i].Load() == addr {
-				return w.ent[2*i+1].Load(), true
+			if w.keys[i] == addr {
+				return w.vals[i], true
 			}
 		}
 		return 0, false
 	}
 	for i := *w.bucket(addr); i >= 0; i = w.next[i] {
-		if w.ent[2*i].Load() == addr {
-			return w.ent[2*i+1].Load(), true
+		if w.keys[i] == addr {
+			return w.vals[i], true
 		}
 	}
 	return 0, false
 }
 
 // addOrReplace records a store of val to addr, replacing any pending store
-// to the same address (paper §III-A). It panics with tm.ErrTooManyStores if
-// the transaction exceeds the configured write-set capacity.
+// to the same address (paper §III-A). Lookups go through the plain mirror;
+// a recorded store writes mirror and shared array both. It panics with
+// tm.ErrTooManyStores if the transaction exceeds the configured write-set
+// capacity.
 func (w *writeSet) addOrReplace(addr, val uint64) {
 	if !w.hashed {
 		for i := 0; i < w.n; i++ {
-			if w.ent[2*i].Load() == addr {
+			if w.keys[i] == addr {
+				w.vals[i] = val
 				w.ent[2*i+1].Store(val)
 				return
 			}
 		}
 	} else {
 		for i := *w.bucket(addr); i >= 0; i = w.next[i] {
-			if w.ent[2*i].Load() == addr {
+			if w.keys[i] == addr {
+				w.vals[i] = val
 				w.ent[2*i+1].Store(val)
 				return
 			}
@@ -117,6 +129,7 @@ func (w *writeSet) addOrReplace(addr, val uint64) {
 		panic(tm.ErrTooManyStores)
 	}
 	i := w.n
+	w.keys[i], w.vals[i] = addr, val
 	w.ent[2*i].Store(addr)
 	w.ent[2*i+1].Store(val)
 	w.n++
@@ -134,7 +147,7 @@ func (w *writeSet) addOrReplace(addr, val uint64) {
 func (w *writeSet) buildHash() {
 	w.hashed = true
 	for i := 0; i < w.n; i++ {
-		b := w.bucket(w.ent[2*i].Load())
+		b := w.bucket(w.keys[i])
 		w.next[i] = *b
 		*b = int32(i)
 	}

@@ -9,18 +9,42 @@
 // algorithm's monotonically increasing sequence — pointer identity merely
 // adds a second, independent guard (two distinct Pair allocations never
 // compare equal even if they hold the same numbers).
+//
+// Pairs may be recycled: CompareAndSwapPair installs a caller-supplied Pair,
+// letting the engine feed replaced pairs back through a grace period (see
+// internal/core's pair pool) instead of allocating a fresh pair per DCAS.
+// A recycled pair must not be rewritten until no reader can still hold a
+// pointer to it; the engine guarantees that with the hazard-era
+// announcements of internal/he (DESIGN.md §2).
 package dcas
 
 import "sync/atomic"
 
-// Pair is an immutable {value, sequence} snapshot of a TM word. Pairs must
-// never be mutated after publication; CompareAndSwap installs fresh ones.
+// Pair is an immutable {value, sequence} snapshot of a TM word. A published
+// Pair must never be mutated; recycling rewrites a pair only after its grace
+// period, before re-publication.
 type Pair struct {
 	Val uint64
 	Seq uint64
 }
 
-var zeroPair = &Pair{}
+// Zero is the canonical {0,0} pair returned by Snapshot for never-written
+// words. It is shared by every Word and must never be recycled or mutated.
+var Zero = &Pair{}
+
+// PaddedPair is a Pair alone on its cache line. Recycled pairs must be
+// allocated as PaddedPairs: a recycled pair is rewritten just before
+// re-publication, and if it shared a cache line with still-live pairs that
+// write would keep invalidating readers of its neighbours (fresh pairs
+// never have the problem — they are immutable from publication on, and
+// read-only sharing is free).
+type PaddedPair struct {
+	P Pair
+	_ [48]byte
+}
+
+// NewPooled allocates a recyclable Pair on its own cache line.
+func NewPooled() *Pair { return &new(PaddedPair).P }
 
 // Word is one TM word: the paper's TMType. The zero value is a word holding
 // value 0 at sequence 0.
@@ -29,12 +53,12 @@ type Word struct {
 }
 
 // Snapshot returns the current {value, sequence} pair. The returned pointer
-// is immutable and safe to retain.
+// is immutable while the caller's hazard-era announcement (if any) is held.
 func (w *Word) Snapshot() *Pair {
 	if p := w.p.Load(); p != nil {
 		return p
 	}
-	return zeroPair
+	return Zero
 }
 
 // Load returns the current value and sequence.
@@ -50,10 +74,23 @@ func (w *Word) Seq() uint64 {
 
 // CompareAndSwap atomically replaces the word's pair with {val, seq} if the
 // current pair is exactly old (pointer identity). It reports whether the
-// swap happened. This is the DCAS of Alg. 1 line 14.
+// swap happened. This is the DCAS of Alg. 1 line 14. The early exit skips
+// the Pair allocation when the word visibly moved on — on the contended
+// apply path that is the common failure mode, and the allocation is the
+// whole cost of the emulated DCAS.
 func (w *Word) CompareAndSwap(old *Pair, val, seq uint64) bool {
-	n := &Pair{Val: val, Seq: seq}
-	if old == zeroPair {
+	if old != Zero && w.p.Load() != old {
+		return false
+	}
+	return w.CompareAndSwapPair(old, &Pair{Val: val, Seq: seq})
+}
+
+// CompareAndSwapPair is CompareAndSwap with a caller-supplied new pair n
+// (typically recycled). On success n is published and owned by the word; on
+// failure n stays private to the caller and may be reused immediately. n
+// must not alias old or Zero.
+func (w *Word) CompareAndSwapPair(old, n *Pair) bool {
+	if old == Zero {
 		// The word may still hold a nil pointer (never written) or an
 		// explicit zero pair installed by Reset; both denote {0,0}.
 		if w.p.CompareAndSwap(nil, n) {
@@ -67,12 +104,15 @@ func (w *Word) CompareAndSwap(old *Pair, val, seq uint64) bool {
 
 // Store unconditionally publishes {val, seq}. It is only used during
 // single-threaded initialisation and crash recovery, never during normal
-// concurrent operation.
+// concurrent operation. The pair is padded because a stored pair may later
+// be replaced by the engine and fed into the recycling pool.
 func (w *Word) Store(val, seq uint64) {
-	w.p.Store(&Pair{Val: val, Seq: seq})
+	p := NewPooled()
+	p.Val, p.Seq = val, seq
+	w.p.Store(p)
 }
 
 // Reset returns the word to {0, 0}. Initialisation/recovery only.
 func (w *Word) Reset() {
-	w.p.Store(zeroPair)
+	w.p.Store(Zero)
 }

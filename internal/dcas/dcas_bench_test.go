@@ -1,0 +1,76 @@
+package dcas
+
+import "testing"
+
+func BenchmarkLoad(b *testing.B) {
+	b.ReportAllocs()
+	var w Word
+	w.Store(42, 7)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		v, s := w.Load()
+		sink += v + s
+	}
+	_ = sink
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	b.ReportAllocs()
+	var w Word
+	w.Store(42, 7)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += w.Snapshot().Val
+	}
+	_ = sink
+}
+
+// BenchmarkCAS is the allocating DCAS: every successful swing builds a
+// fresh Pair.
+func BenchmarkCAS(b *testing.B) {
+	b.ReportAllocs()
+	var w Word
+	w.Store(0, 0)
+	for i := 0; i < b.N; i++ {
+		old := w.Snapshot()
+		w.CompareAndSwap(old, uint64(i), old.Seq+1)
+	}
+}
+
+// BenchmarkCASPairRecycled is the pooled DCAS of the engine's apply phase:
+// the replaced pair is immediately reused as the next candidate (valid here
+// because the benchmark is the only holder).
+func BenchmarkCASPairRecycled(b *testing.B) {
+	b.ReportAllocs()
+	var w Word
+	w.Store(0, 0)
+	n := &Pair{}
+	for i := 0; i < b.N; i++ {
+		old := w.Snapshot()
+		n.Val, n.Seq = uint64(i), old.Seq+1
+		if !w.CompareAndSwapPair(old, n) {
+			b.Fatal("uncontended CAS failed")
+		}
+		if old != Zero {
+			n = old
+		} else {
+			n = &Pair{}
+		}
+	}
+}
+
+// BenchmarkCASEarlyExit measures the no-allocation fast failure: the
+// observed pointer already differs from old, so CompareAndSwap returns
+// before building a candidate pair.
+func BenchmarkCASEarlyExit(b *testing.B) {
+	b.ReportAllocs()
+	var w Word
+	w.Store(1, 1)
+	stale := w.Snapshot()
+	w.Store(2, 2)
+	for i := 0; i < b.N; i++ {
+		if w.CompareAndSwap(stale, 3, 3) {
+			b.Fatal("stale CAS succeeded")
+		}
+	}
+}

@@ -108,6 +108,22 @@ func (e *Eras) Scan(slot int) {
 	e.lists[slot] = kept
 }
 
+// MinProtected returns the smallest era currently announced by any slot, or
+// None when no slot announces one. It is the wait-free scan used by
+// epoch-ordered retirement (internal/core's pair pool): an object retired at
+// era r is reclaimable once MinProtected() > r, because any thread still
+// holding a reference announced an era no later than the era at which the
+// object was unlinked (see DESIGN.md §2).
+func (e *Eras) MinProtected() uint64 {
+	min := None
+	for i := range e.slots {
+		if a := e.slots[i].era.Load(); a < min {
+			min = a
+		}
+	}
+	return min
+}
+
 func (e *Eras) overlaps(birth, retire uint64) bool {
 	for i := range e.slots {
 		a := e.slots[i].era.Load()

@@ -15,18 +15,22 @@
 //     logs, replica data and hand-made persistent structures live here.
 //   - the pair region: the persistent image of two-word TM words
 //     ({value, sequence} pairs, see package dcas). The volatile truth for
-//     these lives in the owning engine; the device keeps only the image,
-//     guarded by the sequence so a delayed flusher can never regress it —
-//     exactly the behaviour of flushing a cache line that a newer DCAS
-//     already updated.
+//     these lives in the owning engine; the device keeps only the image
+//     (copied by value — the device never retains engine pointers), guarded
+//     by the sequence so a delayed flusher can never regress it — exactly
+//     the behaviour of flushing a cache line that a newer DCAS already
+//     updated. A pair is 16 bytes, so PairLineWords (4) TM words share one
+//     cache line, and FlushPairLine persists up to a whole line of them for
+//     a single pwb — the paper's §IV one-pwb-per-modified-line accounting.
 //
 // In StrictMode every Flush is immediately durable (write-through), which
 // matches CLWB followed by a fence on every flush. In RelaxedMode flushes
 // are buffered per thread slot and only become durable at the next Fence or
 // Drain by that slot; Crash applies a random subset of the still-buffered
-// flushes (a pwb may complete early on real hardware) and drops the rest.
-// RelaxedMode exercises the reordering windows that crash-consistency bugs
-// hide in.
+// flushes (a pwb may complete early on real hardware) and drops the rest —
+// a coalesced line flush is kept or dropped as one unit, like the single
+// cache-line write-back it models. RelaxedMode exercises the reordering
+// windows that crash-consistency bugs hide in.
 //
 // The device also counts pwb and pfence events (Table I of the paper) and
 // offers a hook called before every persistence event, which failure-
@@ -38,12 +42,14 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
-
-	"onefile/internal/dcas"
 )
 
 // LineWords is the cache-line size in 64-bit words (64 bytes).
 const LineWords = 8
+
+// PairLineWords is the number of TM words ({value, sequence} pairs, 16
+// bytes each) that share one cache line.
+const PairLineWords = LineWords / 2
 
 // Mode selects the durability model.
 type Mode int
@@ -60,7 +66,7 @@ const (
 type Event int
 
 const (
-	// EvPwb is a persistent write-back (Flush / FlushPair).
+	// EvPwb is a persistent write-back (Flush / FlushPair / FlushPairLine).
 	EvPwb Event = iota + 1
 	// EvFence is an explicit persistent fence.
 	EvFence
@@ -89,14 +95,18 @@ type pendingRaw struct {
 	vals [LineWords]uint64
 }
 
-type pendingPair struct {
-	idx  int
-	pair *dcas.Pair
+// pendingPairs is one buffered pair-region pwb: up to PairLineWords word
+// snapshots from the same cache line, kept or dropped atomically at Crash.
+type pendingPairs struct {
+	n    int
+	idx  [PairLineWords]int
+	vals [PairLineWords]uint64
+	seqs [PairLineWords]uint64
 }
 
 type slotBuf struct {
 	raws  []pendingRaw
-	pairs []pendingPair
+	pairs []pendingPairs
 }
 
 // Device is an emulated NVM DIMM. All methods are safe for concurrent use
@@ -109,7 +119,12 @@ type Device struct {
 	rawImg []uint64        // persistent image of the raw region
 	rawMu  []sync.Mutex    // per-line-group image locks (raw region only)
 
-	pairImg []atomic.Pointer[dcas.Pair] // persistent image of TM words
+	// Persistent image of TM words, by value. pairMu shards by pair line,
+	// emulating the memory controller's atomic line write-back; the
+	// sequence guard in commitPair keeps delayed flushers monotonic.
+	pairVal []uint64
+	pairSeq []uint64
+	pairMu  []sync.Mutex
 
 	pending []slotBuf // per-slot flush buffers (RelaxedMode)
 
@@ -140,12 +155,15 @@ func New(cfg Config) (*Device, error) {
 		cfg.MaxSlots = 1024
 	}
 	nLines := (cfg.RawWords + LineWords - 1) / LineWords
+	nPairLines := (cfg.PairWords + PairLineWords - 1) / PairLineWords
 	d := &Device{
 		cfg:     cfg,
 		rawVol:  make([]atomic.Uint64, cfg.RawWords),
 		rawImg:  make([]uint64, cfg.RawWords),
 		rawMu:   make([]sync.Mutex, minInt(nLines, 1024)+1),
-		pairImg: make([]atomic.Pointer[dcas.Pair], cfg.PairWords),
+		pairVal: make([]uint64, cfg.PairWords),
+		pairSeq: make([]uint64, cfg.PairWords),
+		pairMu:  make([]sync.Mutex, minInt(nPairLines, 1024)+1),
 		pending: make([]slotBuf, cfg.MaxSlots),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 	}
@@ -263,31 +281,74 @@ func (d *Device) Flush(slot, off, n int) {
 
 // --- pair region: persistence ---
 
-// commitPair advances the persistent image of TM word idx to p, unless the
-// image already holds an equal or newer sequence (monotonic guard).
-func (d *Device) commitPair(idx int, p *dcas.Pair) {
-	for {
-		cur := d.pairImg[idx].Load()
-		if cur != nil && cur.Seq >= p.Seq {
-			return
-		}
-		if d.pairImg[idx].CompareAndSwap(cur, p) {
-			return
+// commitPairs advances the persistent image of the TM words in p, skipping
+// any word whose image already holds an equal or newer sequence (monotonic
+// guard). All words of p share one pair line, so one shard lock covers them.
+func (d *Device) commitPairs(p pendingPairs) {
+	if p.n == 0 {
+		return
+	}
+	mu := &d.pairMu[(p.idx[0]/PairLineWords)%len(d.pairMu)]
+	mu.Lock()
+	for i := 0; i < p.n; i++ {
+		idx := p.idx[i]
+		// ≥, not >: a word's value at a given sequence is unique (one
+		// committed transaction wrote it), so equal-sequence flushes are
+		// idempotent — and initialisation writes carry sequence 0.
+		if p.seqs[i] >= d.pairSeq[idx] {
+			d.pairVal[idx] = p.vals[i]
+			d.pairSeq[idx] = p.seqs[i]
 		}
 	}
+	mu.Unlock()
 }
 
 // FlushPair issues one pwb persisting the given snapshot of TM word idx.
 // The snapshot must be the flusher's current view of the word (read at
 // flush time); the monotonic guard makes stale snapshots harmless.
-func (d *Device) FlushPair(slot, idx int, p *dcas.Pair) {
+func (d *Device) FlushPair(slot, idx int, val, seq uint64) {
+	var p pendingPairs
+	p.n = 1
+	p.idx[0], p.vals[0], p.seqs[0] = idx, val, seq
+	d.flushPairs(slot, p)
+}
+
+// FlushPairLine issues ONE pwb persisting the given snapshots of n TM words
+// that all reside in the same pair-region cache line (idx[i]/PairLineWords
+// equal for all i) — the write-back of one modified cache line. Only the
+// flusher's own snapshots are persisted; untouched neighbours in the line
+// keep their image, which is conservative relative to real hardware and
+// preserves the recovery invariant that no word's durable sequence exceeds
+// the durable curTx (see internal/core attach).
+func (d *Device) FlushPairLine(slot int, n int, idx *[PairLineWords]int, vals, seqs *[PairLineWords]uint64) {
+	if n <= 0 {
+		return
+	}
+	if n > PairLineWords {
+		panic("pmem: FlushPairLine called with more words than a line holds")
+	}
+	line := idx[0] / PairLineWords
+	for i := 1; i < n; i++ {
+		if idx[i]/PairLineWords != line {
+			panic("pmem: FlushPairLine words span cache lines")
+		}
+	}
+	var p pendingPairs
+	p.n = n
+	copy(p.idx[:], idx[:n])
+	copy(p.vals[:], vals[:n])
+	copy(p.seqs[:], seqs[:n])
+	d.flushPairs(slot, p)
+}
+
+func (d *Device) flushPairs(slot int, p pendingPairs) {
 	d.fire(EvPwb)
 	d.pwb.Add(1)
 	if d.cfg.Mode == StrictMode {
-		d.commitPair(idx, p)
+		d.commitPairs(p)
 		return
 	}
-	d.pending[slot].pairs = append(d.pending[slot].pairs, pendingPair{idx: idx, pair: p})
+	d.pending[slot].pairs = append(d.pending[slot].pairs, p)
 }
 
 // drain commits all buffered flushes of slot.
@@ -298,7 +359,7 @@ func (d *Device) drain(slot int) {
 	}
 	buf.raws = buf.raws[:0]
 	for _, p := range buf.pairs {
-		d.commitPair(p.idx, p.pair)
+		d.commitPairs(p)
 	}
 	buf.pairs = buf.pairs[:0]
 }
@@ -327,10 +388,10 @@ func (d *Device) Drain(slot int) {
 
 // Crash simulates a full-system power failure. Buffered flushes are
 // independently kept (the pwb happened to complete) or dropped with equal
-// probability; then every volatile raw word is reloaded from the persistent
-// image. The caller must guarantee quiescence. After Crash the pair image
-// is the only record of TM words; engines rebuild their volatile words from
-// it via ImagePair.
+// probability — a coalesced pair-line flush is one unit; then every
+// volatile raw word is reloaded from the persistent image. The caller must
+// guarantee quiescence. After Crash the pair image is the only record of TM
+// words; engines rebuild their volatile words from it via ImagePair.
 func (d *Device) Crash() {
 	if d.cfg.Mode == RelaxedMode {
 		d.rngMu.Lock()
@@ -344,7 +405,7 @@ func (d *Device) Crash() {
 			buf.raws = nil
 			for _, p := range buf.pairs {
 				if d.rng.Intn(2) == 0 {
-					d.commitPair(p.idx, p.pair)
+					d.commitPairs(p)
 				}
 			}
 			buf.pairs = nil
@@ -363,10 +424,11 @@ func (d *Device) Crash() {
 // ImagePair returns the persistent image of TM word idx (value, sequence).
 // Intended for recovery and tests.
 func (d *Device) ImagePair(idx int) (val, seq uint64) {
-	if p := d.pairImg[idx].Load(); p != nil {
-		return p.Val, p.Seq
-	}
-	return 0, 0
+	mu := &d.pairMu[(idx/PairLineWords)%len(d.pairMu)]
+	mu.Lock()
+	val, seq = d.pairVal[idx], d.pairSeq[idx]
+	mu.Unlock()
+	return val, seq
 }
 
 // ImageRaw returns the persistent image of raw word off. Intended for
@@ -377,4 +439,4 @@ func (d *Device) ImageRaw(off int) uint64 { return d.rawImg[off] }
 func (d *Device) RawWords() int { return len(d.rawVol) }
 
 // PairWords returns the size of the pair region.
-func (d *Device) PairWords() int { return len(d.pairImg) }
+func (d *Device) PairWords() int { return len(d.pairSeq) }

@@ -3,7 +3,6 @@ package pmem
 import (
 	"testing"
 
-	"onefile/internal/dcas"
 )
 
 func newDev(t *testing.T, mode Mode) *Device {
@@ -119,13 +118,13 @@ func TestRelaxedCrashDropsSomePending(t *testing.T) {
 
 func TestPairMonotonicGuard(t *testing.T) {
 	d := newDev(t, StrictMode)
-	d.FlushPair(0, 5, &dcas.Pair{Val: 10, Seq: 3})
+	d.FlushPair(0, 5, 10, 3)
 	// A delayed flusher with an older snapshot must not regress the image.
-	d.FlushPair(0, 5, &dcas.Pair{Val: 9, Seq: 2})
+	d.FlushPair(0, 5, 9, 2)
 	if v, s := d.ImagePair(5); v != 10 || s != 3 {
 		t.Errorf("image regressed to (%d,%d), want (10,3)", v, s)
 	}
-	d.FlushPair(0, 5, &dcas.Pair{Val: 11, Seq: 4})
+	d.FlushPair(0, 5, 11, 4)
 	if v, s := d.ImagePair(5); v != 11 || s != 4 {
 		t.Errorf("image = (%d,%d), want (11,4)", v, s)
 	}
@@ -133,11 +132,11 @@ func TestPairMonotonicGuard(t *testing.T) {
 
 func TestPairRelaxedPendingDroppedOnCrash(t *testing.T) {
 	d := newDev(t, RelaxedMode)
-	d.FlushPair(0, 1, &dcas.Pair{Val: 1, Seq: 1})
+	d.FlushPair(0, 1, 1, 1)
 	d.Drain(0)
 	// Pending, never drained: may be kept or dropped at crash, but word 1
 	// (drained) must survive.
-	d.FlushPair(0, 2, &dcas.Pair{Val: 2, Seq: 1})
+	d.FlushPair(0, 2, 2, 1)
 	d.Crash()
 	if v, s := d.ImagePair(1); v != 1 || s != 1 {
 		t.Errorf("drained pair lost: (%d,%d)", v, s)

@@ -3,7 +3,6 @@ package pmem
 import (
 	"testing"
 
-	"onefile/internal/dcas"
 )
 
 // This file pins down RelaxedMode's crash semantics as a table: for each
@@ -133,11 +132,11 @@ func TestRelaxedPairImageNeverRegresses(t *testing.T) {
 	for seed := int64(1); seed <= relaxedSeeds; seed++ {
 		d := relaxedDev(t, seed)
 		// Make {val 100, seq 5} durable.
-		d.FlushPair(0, 0, &dcas.Pair{Val: 100, Seq: 5})
+		d.FlushPair(0, 0, 100, 5)
 		d.Fence(0)
 		// A delayed flusher writes back an older view; it is still buffered
 		// at the crash and may be "kept" — the guard must reject it.
-		d.FlushPair(1, 0, &dcas.Pair{Val: 42, Seq: 3})
+		d.FlushPair(1, 0, 42, 3)
 		d.Crash()
 		if val, seq := d.ImagePair(0); seq != 5 || val != 100 {
 			t.Fatalf("seed %d: image regressed to {val %d, seq %d}", seed, val, seq)
@@ -152,9 +151,9 @@ func TestRelaxedPairCrashKeepsOrDropsNewer(t *testing.T) {
 	seen := map[uint64]int{}
 	for seed := int64(1); seed <= relaxedSeeds; seed++ {
 		d := relaxedDev(t, seed)
-		d.FlushPair(0, 0, &dcas.Pair{Val: 100, Seq: 5})
+		d.FlushPair(0, 0, 100, 5)
 		d.Fence(0)
-		d.FlushPair(0, 0, &dcas.Pair{Val: 200, Seq: 6}) // unfenced
+		d.FlushPair(0, 0, 200, 6) // unfenced
 		d.Crash()
 		_, seq := d.ImagePair(0)
 		if seq != 5 && seq != 6 {

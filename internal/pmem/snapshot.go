@@ -6,8 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-
-	"onefile/internal/dcas"
 )
 
 // Snapshot format: the durable image only — exactly what would be on the
@@ -27,7 +25,7 @@ var ErrBadSnapshot = errors.New("pmem: bad snapshot")
 func (d *Device) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	cw := &countWriter{w: bw}
-	hdr := []uint64{snapMagic, snapVersion, uint64(len(d.rawImg)), uint64(len(d.pairImg))}
+	hdr := []uint64{snapMagic, snapVersion, uint64(len(d.rawImg)), uint64(len(d.pairVal))}
 	for _, h := range hdr {
 		if err := binary.Write(cw, binary.LittleEndian, h); err != nil {
 			return cw.n, err
@@ -36,11 +34,9 @@ func (d *Device) WriteTo(w io.Writer) (int64, error) {
 	if err := binary.Write(cw, binary.LittleEndian, d.rawImg); err != nil {
 		return cw.n, err
 	}
-	pairs := make([]uint64, 2*len(d.pairImg))
-	for i := range d.pairImg {
-		if p := d.pairImg[i].Load(); p != nil {
-			pairs[2*i], pairs[2*i+1] = p.Val, p.Seq
-		}
+	pairs := make([]uint64, 2*len(d.pairVal))
+	for i := range d.pairVal {
+		pairs[2*i], pairs[2*i+1] = d.pairVal[i], d.pairSeq[i]
 	}
 	if err := binary.Write(cw, binary.LittleEndian, pairs); err != nil {
 		return cw.n, err
@@ -63,24 +59,19 @@ func (d *Device) ReadFrom(r io.Reader) (int64, error) {
 	if hdr[0] != snapMagic || hdr[1] != snapVersion {
 		return cr.n, fmt.Errorf("%w: magic/version mismatch", ErrBadSnapshot)
 	}
-	if hdr[2] != uint64(len(d.rawImg)) || hdr[3] != uint64(len(d.pairImg)) {
+	if hdr[2] != uint64(len(d.rawImg)) || hdr[3] != uint64(len(d.pairVal)) {
 		return cr.n, fmt.Errorf("%w: sized for %d/%d words, device has %d/%d",
-			ErrBadSnapshot, hdr[2], hdr[3], len(d.rawImg), len(d.pairImg))
+			ErrBadSnapshot, hdr[2], hdr[3], len(d.rawImg), len(d.pairVal))
 	}
 	if err := binary.Read(cr, binary.LittleEndian, d.rawImg); err != nil {
 		return cr.n, err
 	}
-	pairs := make([]uint64, 2*len(d.pairImg))
+	pairs := make([]uint64, 2*len(d.pairVal))
 	if err := binary.Read(cr, binary.LittleEndian, pairs); err != nil {
 		return cr.n, err
 	}
-	for i := range d.pairImg {
-		val, seq := pairs[2*i], pairs[2*i+1]
-		if val == 0 && seq == 0 {
-			d.pairImg[i].Store(nil)
-			continue
-		}
-		d.pairImg[i].Store(&dcas.Pair{Val: val, Seq: seq})
+	for i := range d.pairVal {
+		d.pairVal[i], d.pairSeq[i] = pairs[2*i], pairs[2*i+1]
 	}
 	for s := range d.pending {
 		d.pending[s] = slotBuf{}

@@ -5,7 +5,6 @@ import (
 	"strings"
 	"testing"
 
-	"onefile/internal/dcas"
 )
 
 func TestSnapshotRoundTrip(t *testing.T) {
@@ -13,7 +12,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	d.RawStore(3, 77)
 	d.Flush(0, 3, 1)
 	d.RawStore(4, 88) // volatile only: must NOT survive the snapshot
-	d.FlushPair(0, 5, &dcas.Pair{Val: 9, Seq: 2})
+	d.FlushPair(0, 5, 9, 2)
 
 	var buf bytes.Buffer
 	if _, err := d.WriteTo(&buf); err != nil {
