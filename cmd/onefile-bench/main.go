@@ -13,7 +13,9 @@
 // Figures: 2 (SPS), 3 (SPS+alloc), 4 (queues), 5 (list sets), 6 (trees),
 // 7 (latency percentiles), 8 (persistent SPS), 9 (persistent lists),
 // 10 (persistent trees), 11 (persistent hash), 12 (persistent queues /
-// kill test). Table: 1 (pwb/pfence/CAS per transaction).
+// kill test), 13 (oversubscription sweep — not in the paper; workers 1, P,
+// 2P, 4P at GOMAXPROCS=P, see -procs). Table: 1 (pwb/pfence/CAS per
+// transaction).
 //
 // -json additionally writes every data point as a machine-readable report
 // (internal/bench.Report). -quick shrinks durations and working sets for a
@@ -45,6 +47,8 @@ var (
 	keysFlag    = flag.Int("keys", 0, "override the working-set size of set benchmarks")
 	entriesFlag = flag.Int("entries", 0, "override the SPS array size")
 	quickFlag   = flag.Bool("quick", false, "smoke-run preset: -dur 50ms -threads 1,2,4 -keys 256 -entries 8192")
+	procsFlag   = flag.Int("procs", runtime.GOMAXPROCS(0), "with -fig 13: GOMAXPROCS to pin while sweeping worker counts 1,P,2P,4P")
+	repsFlag    = flag.Int("reps", 3, "with -fig 13: interleaved measurements per point (the median is reported)")
 	jsonFlag    = flag.String("json", "", "also write the results as a JSON report to this file")
 	cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -132,7 +136,7 @@ func run() error {
 
 func dispatch(threads []int) error {
 	if *allFlag {
-		for fig := 2; fig <= 12; fig++ {
+		for fig := 2; fig <= 13; fig++ {
 			if err := runFig(fig, threads); err != nil {
 				return err
 			}
@@ -142,11 +146,11 @@ func dispatch(threads []int) error {
 	if *tableFlag == 1 {
 		return runTable1()
 	}
-	if *figFlag >= 2 && *figFlag <= 12 {
+	if *figFlag >= 2 && *figFlag <= 13 {
 		return runFig(*figFlag, threads)
 	}
 	flag.Usage()
-	return fmt.Errorf("pass -fig 2..12, -table 1 or -all")
+	return fmt.Errorf("pass -fig 2..13, -table 1 or -all")
 }
 
 func parseThreads(s string) ([]int, error) {
@@ -393,8 +397,22 @@ func runFig(fig int, threads []int) error {
 				bench.QueueConfig{Threads: th, Duration: *durFlag, Prefill: 128}))
 		}
 		row("FHMP", vals...)
-	default:
-		return fmt.Errorf("unknown figure %d", fig)
+	case 13:
+		figure("fig13-oversub", "workers")
+		procs := *procsFlag
+		workers := bench.OversubWorkers(procs)
+		header(fmt.Sprintf("Fig. 13: oversubscription SPS — GOMAXPROCS=%d, swaps/s", procs),
+			labels("w=", workers)...)
+		for _, eng := range bench.OversubEngines {
+			vals, err := bench.OversubSweep(eng, workers, bench.OversubConfig{
+				Procs: procs, Entries: spsEntries(8192), SwapsPerTx: 4,
+				Duration: *durFlag, Reps: *repsFlag,
+			})
+			if err != nil {
+				return err
+			}
+			row(eng, vals...)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestOversubWorkers(t *testing.T) {
+	for _, tc := range []struct {
+		procs int
+		want  []int
+	}{
+		{1, []int{1, 2, 4}},
+		{2, []int{1, 2, 4, 8}},
+		{8, []int{1, 8, 16, 32}},
+		{0, []int{1, 2, 4}}, // defensive clamp
+	} {
+		if got := OversubWorkers(tc.procs); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("OversubWorkers(%d) = %v, want %v", tc.procs, got, tc.want)
+		}
+	}
+}
+
+func TestOversubSweepSmoke(t *testing.T) {
+	for _, eng := range []string{"OF-LF", "OF-LF-PTM"} {
+		vals, err := OversubSweep(eng, []int{1, 4}, OversubConfig{
+			Procs: 1, Entries: 256, SwapsPerTx: 2, Duration: 30 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		if len(vals) != 2 {
+			t.Fatalf("%s: got %d points, want 2", eng, len(vals))
+		}
+		for i, v := range vals {
+			if v <= 0 {
+				t.Fatalf("%s point %d made no progress", eng, i)
+			}
+		}
+	}
+}

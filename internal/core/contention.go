@@ -1,0 +1,330 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"onefile/internal/he"
+	"onefile/internal/tm"
+)
+
+// This file is the engine's contention-management layer. The paper's
+// evaluation runs one worker per hardware thread; a Go service runs
+// goroutines ≫ cores, where the seed's behaviour collapsed in three ways:
+//
+//  1. acquire() spun unboundedly (one Gosched per scan) while every slot was
+//     busy, timeslicing against the very workers it was waiting on;
+//  2. every goroutine that observed a committed-but-unapplied transaction
+//     re-executed the whole apply phase — per-word DCAS scan, pair-retire
+//     bookkeeping and (persistent) flush traffic — even though §III-E's
+//     progress bound only needs *some* thread to finish it;
+//  3. the Go scheduler async-preempts a CPU-bound worker at an arbitrary
+//     point, which is almost always mid-transaction — where the worker
+//     announces a hazard era. A preempted worker pins that era for its
+//     whole ~10ms off-CPU stretch, so pair reclamation stalls, the live
+//     pair population balloons, and every pair dereference on the running
+//     workers degrades into a cache miss (measured: per-commit applyWord
+//     cost grows ~5× at 4 workers on one proc, with aborts/helps ≈ 0).
+//
+// The fixes: slot admission parks excess goroutines on a FIFO wait list
+// (release wakes exactly one); helpers deduplicate through a CAS-claimed
+// per-slot help ticket with a *bounded* backoff that falls back to full
+// helping (preserving lock-/wait-freedom; see DESIGN.md); release()
+// voluntarily yields every yieldEvery-th transaction *at the boundary* —
+// slot freed, era cleared — so the scheduler rotates oversubscribed workers
+// at points where they pin nothing, which keeps reclamation tight without
+// async preemption ever firing mid-transaction; and all budgets adapt to
+// observed signals (help/abort rate, sampled era staleness) instead of
+// being constants tuned for dedicated cores.
+
+// Bounds of the adaptive budgets. Initial values are sized from GOMAXPROCS
+// in contention.init; maybeTune moves them within these bounds at runtime.
+const (
+	// acquireSpinMin/Max bound how many full claim-scan passes (one
+	// Gosched between passes) an acquiring goroutine makes before parking.
+	acquireSpinMin = 1
+	acquireSpinMax = 64
+	// helpBackoffMin/Max bound the request-recheck rounds a deduplicated
+	// helper waits for the claimant before falling back to full helping.
+	// The upper bound is what keeps the §III-E progress argument intact:
+	// a helper is delayed by at most helpBackoffMax yields, then helps.
+	helpBackoffMin = 8
+	helpBackoffMax = 512
+	// retryPauseMax caps the yields of contendedPause (bounded backoff
+	// after a lost commit CAS or failed validation).
+	retryPauseMax = 4
+	// tuneEvery is how many slot releases pass between budget re-tunes.
+	tuneEvery = 256
+	// yieldEveryMin/Max bound the boundary-yield period (release yields
+	// every yieldEvery-th transaction). The max is deliberately small
+	// enough that on typical transaction sizes the yields come well inside
+	// the runtime's ~10ms forced-preemption interval — keeping async
+	// preemption from ever firing mid-transaction — while still costing
+	// only one Gosched (~100ns against an empty run queue) per 1Ki
+	// commits when the engine is not oversubscribed.
+	yieldEveryMin = 32
+	yieldEveryMax = 1024
+	// yieldStaleSeqs is the era-staleness threshold (in transaction
+	// sequence numbers) above which tune() treats a sampled MinProtected
+	// as evidence of a mid-transaction preemption and tightens the
+	// boundary-yield period. Workers legitimately announce eras a handful
+	// of sequences old; only a descheduled one falls ~thousands behind.
+	yieldStaleSeqs = 1024
+)
+
+// contention is the engine's contention-management state: adaptive spin
+// budgets and the parking list of the slot-admission path. The hot atomics
+// are padded apart: spinBudget/helpBackoff/waiters are read on the fast
+// path but written rarely, releases is written on every release.
+type contention struct {
+	// spinBudget is how many claim-scan passes acquire makes (with one
+	// Gosched between passes) before parking.
+	spinBudget atomic.Uint32
+	// helpBackoff is how many request-recheck rounds a helper that lost
+	// the help-ticket race waits before falling back to full helping.
+	helpBackoff atomic.Uint32
+	// yieldEvery is the boundary-yield period: every yieldEvery-th
+	// release the releasing goroutine calls Gosched with no slot claimed
+	// and no era announced, so oversubscribed workers rotate at points
+	// where being descheduled pins nothing (collapse mode 3 above).
+	yieldEvery atomic.Uint32
+	// waiters counts goroutines registered on (or entering) the parking
+	// list; release skips the park mutex entirely while it is zero.
+	waiters atomic.Int32
+	_       [48]byte
+	// releases counts release() calls; it drives both the boundary yield
+	// and re-tuning (every tuneEvery-th release).
+	releases atomic.Uint32
+	_        [60]byte
+
+	// parks counts park events (observability; tests assert it moved).
+	parks atomic.Uint64
+
+	parkMu sync.Mutex
+	parked []chan struct{} // FIFO of parked acquirers
+
+	tuneMu      sync.Mutex // serialises re-tunes; contenders skip (TryLock)
+	lastCommits uint64
+	lastAborts  uint64
+	lastHelps   uint64
+}
+
+// init sizes the budgets for the host. With a single schedulable thread,
+// spinning can never observe a release made by a concurrently *running*
+// thread, so admission parks almost immediately; with more, a short spin
+// frequently catches a release without paying a park/wake round trip.
+func (c *contention) init(procs int) {
+	spin := uint32(4 * procs)
+	if procs <= 1 {
+		spin = acquireSpinMin
+	}
+	c.spinBudget.Store(clampU32(spin, acquireSpinMin, acquireSpinMax))
+	c.helpBackoff.Store(clampU32(uint32(32*procs), helpBackoffMin, helpBackoffMax))
+	c.yieldEvery.Store(256)
+}
+
+func clampU32(v, lo, hi uint32) uint32 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// tryClaim makes one scan over the slots from start, claiming the first
+// free one.
+func (e *Engine) tryClaim(start int) *slot {
+	n := len(e.slots)
+	for i := 0; i < n; i++ {
+		s := &e.slots[(start+i)%n]
+		if s.claimed.Load() == 0 && s.claimed.CompareAndSwap(0, 1) {
+			return s
+		}
+	}
+	return nil
+}
+
+// park blocks the acquiring goroutine until a slot release wakes it (or the
+// engine closes), then re-scans once. A nil return sends the caller back to
+// its bounded-spin loop: the wakeup is a hint that one slot was freed, not
+// a hand-off, and a concurrently spinning acquirer may have claimed it.
+func (e *Engine) park(start int) *slot {
+	c := &e.cm
+	ch := make(chan struct{})
+	c.waiters.Add(1)
+	defer c.waiters.Add(-1)
+	c.parkMu.Lock()
+	c.parked = append(c.parked, ch)
+	c.parkMu.Unlock()
+	// Re-scan after registering: a release between the caller's last
+	// failed scan and the registration found no waiter to wake, and must
+	// not strand us.
+	if s := e.tryClaim(start); s != nil {
+		e.cancelPark(ch)
+		return s
+	}
+	// Same reasoning for Close: its wake-all may have drained the list
+	// just before we appended.
+	if e.closed.Load() {
+		e.cancelPark(ch)
+		panic(tm.ErrEngineClosed)
+	}
+	c.parks.Add(1)
+	<-ch
+	if e.closed.Load() {
+		panic(tm.ErrEngineClosed)
+	}
+	return e.tryClaim(start)
+}
+
+// cancelPark deregisters ch after a late successful claim. If a releaser
+// already popped ch, its wake token was consumed here and is passed on so
+// that no other sleeper misses the release it announced.
+func (e *Engine) cancelPark(ch chan struct{}) {
+	c := &e.cm
+	c.parkMu.Lock()
+	for i := range c.parked {
+		if c.parked[i] == ch {
+			c.parked = append(c.parked[:i], c.parked[i+1:]...)
+			c.parkMu.Unlock()
+			return
+		}
+	}
+	c.parkMu.Unlock()
+	e.wakeOne()
+}
+
+// wakeOne pops and wakes the longest-parked acquirer, if any.
+func (e *Engine) wakeOne() {
+	c := &e.cm
+	if c.waiters.Load() == 0 {
+		return
+	}
+	c.parkMu.Lock()
+	if len(c.parked) == 0 {
+		c.parkMu.Unlock()
+		return
+	}
+	ch := c.parked[0]
+	k := copy(c.parked, c.parked[1:])
+	c.parked[k] = nil
+	c.parked = c.parked[:k]
+	c.parkMu.Unlock()
+	close(ch)
+}
+
+// wakeAll empties the parking list (Close): every parked acquirer wakes,
+// observes closed and fails fast.
+func (e *Engine) wakeAll() {
+	c := &e.cm
+	c.parkMu.Lock()
+	list := c.parked
+	c.parked = nil
+	c.parkMu.Unlock()
+	for _, ch := range list {
+		close(ch)
+	}
+}
+
+// claimHelp decides whether the caller should run the full helping path for
+// txid, whose owner slot is owner. The ticket holds the highest txid whose
+// apply phase some thread has claimed (values only grow: a CAS can only
+// install a larger txid, and the owner's commit-time store installs the
+// globally newest one). On a lost claim the helper backs off re-checking
+// whether the claimant closed the request; the backoff is bounded, and on
+// expiry the helper falls back to full helping — a preempted (or dead)
+// claimant therefore delays completion by at most helpBackoff yields, which
+// preserves the lock-free and §III-E wait-free progress bounds.
+// Returns false iff the request closed during the backoff.
+func (e *Engine) claimHelp(owner *slot, txid uint64) bool {
+	t := owner.helpTicket.Load()
+	if t < txid && owner.helpTicket.CompareAndSwap(t, txid) {
+		return true // sole claimant: do the work
+	}
+	budget := int(e.cm.helpBackoff.Load())
+	for i := 0; i < budget; i++ {
+		if owner.request.Load() != txid {
+			return false
+		}
+		runtime.Gosched()
+	}
+	return true
+}
+
+// contendedPause yields briefly after a lost commit CAS or a failed
+// validation, letting the winner finish its apply phase instead of
+// immediately re-colliding with it. round is the caller's consecutive
+// failure count; the pause is bounded (at most retryPauseMax+1 yields), so
+// every retry loop keeps its progress property.
+func (e *Engine) contendedPause(round int) {
+	if round > retryPauseMax {
+		round = retryPauseMax
+	}
+	for i := 0; i <= round; i++ {
+		runtime.Gosched()
+	}
+}
+
+// tune re-sizes the adaptive budgets (called every tuneEvery releases) from
+// two observed signals.
+//
+// Help/abort rate, summed from the per-slot counters: a storming engine
+// (many helps/aborts per commit) wants admission to park sooner — spinning
+// acquirers only steal timeslices from the workers they wait on — and
+// helpers to wait longer before duplicating an apply phase; a quiet engine
+// wants the opposite. GOMAXPROCS enters through the initial sizing
+// (contention.init).
+//
+// Era staleness, sampled as curTx's sequence minus MinProtected: a worker
+// descheduled mid-transaction leaves its announced era thousands of
+// sequences behind, which stalls pair reclamation and cools the cache
+// (collapse mode 3). The response is fast-attack/slow-decay: a stale sample
+// cuts the boundary-yield period by 8× so workers start rotating at
+// transaction boundaries within a few tune periods; fresh samples double it
+// back toward the (never fully off) maximum.
+func (e *Engine) tune() {
+	c := &e.cm
+	if !c.tuneMu.TryLock() {
+		return
+	}
+	defer c.tuneMu.Unlock()
+	var commits, aborts, helps uint64
+	for i := range e.slots {
+		st := &e.slots[i].st
+		commits += st.commits.Load() + st.readCommits.Load()
+		aborts += st.aborts.Load() + st.readAborts.Load()
+		helps += st.helps.Load()
+	}
+	dc := commits - c.lastCommits
+	da := aborts - c.lastAborts
+	dh := helps - c.lastHelps
+	c.lastCommits, c.lastAborts, c.lastHelps = commits, aborts, helps
+	if dc == 0 {
+		dc = 1
+	}
+	contended := 4*(da+dh) >= dc // >25% of commits saw a help or an abort
+	adjustBudget(&c.spinBudget, !contended, acquireSpinMin, acquireSpinMax)
+	adjustBudget(&c.helpBackoff, contended, helpBackoffMin, helpBackoffMax)
+
+	cur := seqOf(e.curTx.Load())
+	min := e.eras.MinProtected()
+	if min != he.None && cur > min && cur-min >= yieldStaleSeqs {
+		c.yieldEvery.Store(clampU32(c.yieldEvery.Load()/8, yieldEveryMin, yieldEveryMax))
+	} else {
+		adjustBudget(&c.yieldEvery, true, yieldEveryMin, yieldEveryMax)
+	}
+}
+
+// adjustBudget doubles (up) or halves an adaptive budget within [lo, hi].
+func adjustBudget(b *atomic.Uint32, up bool, lo, hi uint32) {
+	v := b.Load()
+	if up {
+		v *= 2
+	} else {
+		v /= 2
+	}
+	b.Store(clampU32(v, lo, hi))
+}

@@ -134,6 +134,12 @@ type slot struct {
 	// claimed is CASed by every acquiring thread.
 	claimed atomic.Uint32
 	_       [60]byte
+	// helpTicket deduplicates helpers of this slot's committed
+	// transactions: it holds the highest txid whose apply phase some
+	// thread has claimed (the owner claims at commit with a store, helpers
+	// by CAS; see claimHelp). Values only grow.
+	helpTicket atomic.Uint64
+	_          [56]byte
 	// Wait-free operation publication (§III-E), polled by every aggregate.
 	opSlot atomic.Pointer[opDesc]
 	_      [56]byte
@@ -179,6 +185,10 @@ type Engine struct {
 
 	heViolations atomic.Uint64
 	closed       atomic.Bool
+
+	// cm is the contention-management layer (contention.go): parked slot
+	// admission, helper deduplication budgets, adaptive spin sizing.
+	cm contention
 
 	// The two globally contended words, each padded onto its own line.
 	_         [64]byte
@@ -263,6 +273,7 @@ func newEngine(cfg tm.Config, waitFree bool, dev *pmem.Device, attach bool) (*En
 		eras:     he.New(cfg.MaxThreads),
 		curTxImg: cfg.HeapWords,
 	}
+	e.cm.init(runtime.GOMAXPROCS(0))
 	e.resultsBase = talloc.MetaBase + talloc.MetaWords
 	e.dynBase = e.resultsBase + tm.Ptr(2*cfg.MaxThreads)
 	if int(e.dynBase)+64 > cfg.HeapWords {
@@ -418,9 +429,13 @@ func (e *Engine) Eras() *he.Eras { return e.eras }
 // DynBase returns the first dynamically allocatable heap word (audit aid).
 func (e *Engine) DynBase() tm.Ptr { return e.dynBase }
 
-// Close implements tm.Engine. The engine must be idle.
+// Close implements tm.Engine. The engine must be idle. Transactions begun
+// after Close panic with tm.ErrEngineClosed (acquire checks the flag, and
+// the wake-all empties the parking list so no goroutine sleeps forever on a
+// slot that will never be released).
 func (e *Engine) Close() error {
 	e.closed.Store(true)
+	e.wakeAll()
 	return nil
 }
 
@@ -437,28 +452,56 @@ func (e *Engine) Recover() error {
 	return nil
 }
 
-// acquire claims a thread slot, spinning (with yields) while all slots are
-// busy — MaxThreads acts as a concurrency throttle.
+// acquire claims a thread slot — MaxThreads acts as a concurrency
+// throttle. It spins for the adaptive budget (contention.go), then parks on
+// the engine's wait list until a release wakes it, so goroutines beyond
+// MaxThreads sleep instead of timeslicing against the workers they are
+// waiting on. Transactions begun after Close fail fast.
 func (e *Engine) acquire() *slot {
+	if e.closed.Load() {
+		panic(tm.ErrEngineClosed)
+	}
 	n := len(e.slots)
-	start := int(e.claimHint.Add(1))
-	for spin := 0; ; spin++ {
-		for i := 0; i < n; i++ {
-			s := &e.slots[(start+i)%n]
-			if s.claimed.Load() == 0 && s.claimed.CompareAndSwap(0, 1) {
+	// The hint is reduced in unsigned space before the int conversion: a
+	// wrapped (or 32-bit-truncated) counter must never reach Go's signed %
+	// negative, which would yield a negative slot index.
+	start := int(e.claimHint.Add(1) % uint32(n))
+	for {
+		budget := int(e.cm.spinBudget.Load())
+		for spin := 0; spin <= budget; spin++ {
+			if s := e.tryClaim(start); s != nil {
 				return s
 			}
+			if e.closed.Load() {
+				panic(tm.ErrEngineClosed)
+			}
+			runtime.Gosched()
 		}
-		runtime.Gosched()
+		if s := e.park(start); s != nil {
+			return s
+		}
 	}
 }
 
 // release clears the slot's era announcement before the claim flag: the
 // next claimant of the same slot announces its own era, and a stale Clear
-// must never stomp it.
+// must never stomp it. It then wakes one parked acquirer, if any, and
+// drives the budget re-tuning.
 func (e *Engine) release(s *slot) {
 	e.eras.Clear(s.id)
 	s.claimed.Store(0)
+	if e.cm.waiters.Load() > 0 {
+		e.wakeOne()
+	}
+	n := e.cm.releases.Add(1)
+	if n%tuneEvery == 0 {
+		e.tune()
+	}
+	if n%e.cm.yieldEvery.Load() == 0 {
+		// Boundary yield (contention.go): the slot and era are already
+		// released, so being descheduled here pins nothing.
+		runtime.Gosched()
+	}
 }
 
 // pending reports whether txid is committed but possibly not fully applied:

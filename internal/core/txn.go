@@ -111,7 +111,7 @@ func (e *Engine) Update(fn func(tx tm.Tx) uint64) uint64 {
 // pair can be dereferenced, keeping every pair it may observe out of the
 // recyclers' reach.
 func (e *Engine) updateLF(s *slot, fn func(tx tm.Tx) uint64) uint64 {
-	for {
+	for round := 0; ; round++ {
 		oldTx := e.curTx.Load() // step 1
 		e.eras.Protect(s.id, seqOf(oldTx))
 		if e.pending(oldTx) { // step 2: help the ongoing transaction
@@ -121,6 +121,7 @@ func (e *Engine) updateLF(s *slot, fn func(tx tm.Tx) uint64) uint64 {
 		res, ok := e.transform(s, fn, seqOf(oldTx)) // step 3
 		if !ok {
 			s.st.aborts.Add(1)
+			e.contendedPause(round)
 			continue
 		}
 		if s.ws.n == 0 { // step 4: no stores — a read-only body
@@ -130,6 +131,7 @@ func (e *Engine) updateLF(s *slot, fn func(tx tm.Tx) uint64) uint64 {
 		newTx := makeTx(seqOf(oldTx)+1, s.id)
 		if !e.commitAndApply(s, oldTx, newTx) {
 			s.st.aborts.Add(1)
+			e.contendedPause(round)
 			continue
 		}
 		return res
@@ -162,6 +164,11 @@ func (e *Engine) commitAndApply(s *slot, oldTx, newTx uint64) bool {
 		return false
 	}
 	s.st.commits.Add(1)
+	// Claim the apply phase (helper deduplication, contention.go): the
+	// committer is the newest transaction on this slot, so a plain store
+	// keeps the ticket monotonic. Helpers that observe the claim back off
+	// instead of duplicating the per-word scan and retire bookkeeping.
+	s.helpTicket.Store(newTx)
 	if e.dev != nil {
 		// The successful CAS orders the prior pwbs (x86: a locked RMW
 		// acts as a persistence fence) — hence Drain, not Fence.
@@ -286,10 +293,19 @@ func (e *Engine) closeRequest(s *slot, txid uint64) {
 // of its owner: copy the owner's write-set, re-validate the request, then
 // run the same apply phase the owner would (§III-A). The helper must have
 // announced an era ≤ seqOf(txid) (callers announce before observing txid).
+//
+// Helpers first pass the help-ticket gate (claimHelp): when another thread
+// — normally the owner, which claims at commit — is already applying txid,
+// the redundant copy/apply/retire/flush work is skipped in favour of a
+// bounded wait for the request to close. On return the request is closed
+// unless a newer transaction superseded txid.
 func (e *Engine) helpApply(txid uint64, helper *slot) {
 	owner := &e.slots[tidOf(txid)]
 	if owner.request.Load() != txid {
 		return
+	}
+	if !e.claimHelp(owner, txid) {
+		return // the claimant closed the request while we backed off
 	}
 	n := owner.logNum.Load()
 	if n == 0 || n > uint64(e.cfg.MaxStores) {
@@ -352,6 +368,7 @@ func (e *Engine) Read(fn func(tx tm.Tx) uint64) uint64 {
 		if e.waitFree && tries+1 >= e.cfg.ReadTries {
 			return e.publishAndRun(s, fn)
 		}
+		e.contendedPause(tries)
 	}
 }
 

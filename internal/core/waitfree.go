@@ -42,7 +42,7 @@ func (e *Engine) publishAndRun(s *slot, fn func(tx tm.Tx) uint64) uint64 {
 // curTx afterwards keeps the descriptor-protection argument of §IV-B intact.
 func (e *Engine) runPublished(s *slot, d *opDesc) uint64 {
 	defer e.eras.Clear(s.id)
-	for {
+	for round := 0; ; round++ {
 		oldTx := e.curTx.Load()
 		e.eras.Protect(s.id, seqOf(oldTx))
 		if res, done := e.opResult(s.id, d.tag); done {
@@ -58,6 +58,12 @@ func (e *Engine) runPublished(s *slot, d *opDesc) uint64 {
 		ok := e.transformAggregate(s, seqOf(oldTx))
 		if !ok {
 			s.st.aborts.Add(1)
+			// Bounded pause before re-aggregating: the commit that
+			// aborted us may be about to execute our operation, and
+			// colliding with its apply phase only delays both (the
+			// §III-E bound is untouched — the pause is constant and
+			// the thread then aggregates as before).
+			e.contendedPause(round)
 			continue
 		}
 		if s.ws.n == 0 {
@@ -68,6 +74,7 @@ func (e *Engine) runPublished(s *slot, d *opDesc) uint64 {
 		newTx := makeTx(seqOf(oldTx)+1, s.id)
 		if !e.commitAndApply(s, oldTx, newTx) {
 			s.st.aborts.Add(1)
+			e.contendedPause(round)
 			continue
 		}
 	}

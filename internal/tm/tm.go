@@ -102,6 +102,10 @@ var (
 	// ErrNoThreadSlot reports that more goroutines entered transactions
 	// concurrently than the engine was configured for.
 	ErrNoThreadSlot = errors.New("tm: no free thread slot (raise MaxThreads)")
+	// ErrEngineClosed reports a transaction begun after Close. Engines
+	// fail such transactions fast (by panicking with this value) instead
+	// of waiting for a slot that will never be released.
+	ErrEngineClosed = errors.New("tm: engine is closed")
 )
 
 // Stats is a snapshot of engine activity counters. Persistence counters are
