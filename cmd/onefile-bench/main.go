@@ -14,8 +14,9 @@
 // 7 (latency percentiles), 8 (persistent SPS), 9 (persistent lists),
 // 10 (persistent trees), 11 (persistent hash), 12 (persistent queues /
 // kill test), 13 (oversubscription sweep — not in the paper; workers 1, P,
-// 2P, 4P at GOMAXPROCS=P, see -procs). Table: 1 (pwb/pfence/CAS per
-// transaction).
+// 2P, 4P at GOMAXPROCS=P, see -procs), batch (group-commit sweep — SPS and
+// pfence/op vs batch window, plus solo-submitter latency parity). Table: 1
+// (pwb/pfence/CAS per transaction).
 //
 // -json additionally writes every data point as a machine-readable report
 // (internal/bench.Report). -quick shrinks durations and working sets for a
@@ -38,7 +39,7 @@ import (
 )
 
 var (
-	figFlag     = flag.Int("fig", 0, "figure number to regenerate (2-12)")
+	figFlag     = flag.String("fig", "", "figure to regenerate (2-13, or 'batch')")
 	tableFlag   = flag.Int("table", 0, "table number to regenerate (1)")
 	allFlag     = flag.Bool("all", false, "run every figure and table")
 	killFlag    = flag.Bool("kill", false, "with -fig 12: run the kill test instead of the queue throughput")
@@ -141,16 +142,22 @@ func dispatch(threads []int) error {
 				return err
 			}
 		}
+		if err := runBatchFig(); err != nil {
+			return err
+		}
 		return runTable1()
 	}
 	if *tableFlag == 1 {
 		return runTable1()
 	}
-	if *figFlag >= 2 && *figFlag <= 13 {
-		return runFig(*figFlag, threads)
+	if *figFlag == "batch" {
+		return runBatchFig()
+	}
+	if fig, err := strconv.Atoi(*figFlag); err == nil && fig >= 2 && fig <= 13 {
+		return runFig(fig, threads)
 	}
 	flag.Usage()
-	return fmt.Errorf("pass -fig 2..13, -table 1 or -all")
+	return fmt.Errorf("pass -fig 2..13, -fig batch, -table 1 or -all")
 }
 
 func parseThreads(s string) ([]int, error) {
@@ -193,10 +200,13 @@ func header(title string, cols ...string) {
 	}
 }
 
-func row(series string, vals ...float64) {
+func row(series string, vals ...float64) { rowf(series, "%12.0f", vals...) }
+
+// rowf is row with a custom cell format, for fractional values.
+func rowf(series, format string, vals ...float64) {
 	fmt.Printf("%-14s", series)
 	for _, v := range vals {
-		fmt.Printf(" %12.0f", v)
+		fmt.Printf(" "+format, v)
 	}
 	fmt.Println()
 	if curFig != nil {
@@ -413,6 +423,111 @@ func runFig(fig int, threads []int) error {
 			}
 			row(eng, vals...)
 		}
+	}
+	return nil
+}
+
+// runBatchFig is the group-commit sweep, three regimes against the direct
+// per-op baseline: hot-counter increments under 8 submitters (the canonical
+// group-commit operation — commit pipeline dominates), random swaps on a
+// hot set under 8 submitters (heavier bodies, write-set dedupe still
+// collapses the apply pass), and single-submitter swaps on a disjoint set
+// (pure commit amortisation, no dedupe). Then pfence/op for the persistent
+// engines and the solo-latency parity pair (see internal/bench/batch.go).
+func runBatchFig() error {
+	windows := bench.BatchWindows
+	incCfg := bench.BatchConfig{
+		Entries:   4, // four hot counters
+		Threads:   8,
+		Increment: true,
+		Duration:  *durFlag,
+		Reps:      *repsFlag,
+	}
+	hotCfg := bench.BatchConfig{
+		Entries:    4, // hot spot: every op collides, dedupe is maximal
+		SwapsPerOp: 1,
+		Threads:    8,
+		Duration:   *durFlag,
+		Reps:       *repsFlag,
+	}
+	cfg := bench.BatchConfig{
+		Entries:    spsEntries(1000),
+		SwapsPerOp: 1,
+		Duration:   *durFlag,
+		Reps:       *repsFlag,
+	}
+	cols := append([]string{"direct"}, labels("B=", windows)...)
+	points := map[string][]bench.BatchPoint{}
+
+	figure("batch", "window")
+	header("Batch: group-commit, 8 submitters, 4 hot counters, increments/s", cols...)
+	for _, eng := range bench.BatchEngines {
+		ps, err := bench.BatchSweep(eng, windows, incCfg)
+		if err != nil {
+			return err
+		}
+		vals := make([]float64, len(ps))
+		for i, p := range ps {
+			vals[i] = p.SPS
+		}
+		row(eng, vals...)
+	}
+
+	figure("batch-swap", "window")
+	header("Batch: group-commit SPS, 8 submitters, 4-word hot set, swaps/s", cols...)
+	for _, eng := range bench.BatchEngines {
+		ps, err := bench.BatchSweep(eng, windows, hotCfg)
+		if err != nil {
+			return err
+		}
+		vals := make([]float64, len(ps))
+		for i, p := range ps {
+			vals[i] = p.SPS
+		}
+		row(eng, vals...)
+	}
+
+	figure("batch-amortize", "window")
+	header("Batch: group-commit SPS, single submitter, disjoint set, swaps/s", cols...)
+	for _, eng := range bench.BatchEngines {
+		ps, err := bench.BatchSweep(eng, windows, cfg)
+		if err != nil {
+			return err
+		}
+		points[eng] = ps
+		vals := make([]float64, len(ps))
+		for i, p := range ps {
+			vals[i] = p.SPS
+		}
+		row(eng, vals...)
+	}
+
+	figure("batch-pfence", "window")
+	header("Batch: ordering fences (pfence+drain) per op, persistent engines", cols...)
+	for _, eng := range bench.BatchEngines {
+		ps := points[eng]
+		if ps[0].FencesPerOp == 0 {
+			continue // volatile
+		}
+		vals := make([]float64, len(ps))
+		for i, p := range ps {
+			vals[i] = p.FencesPerOp
+		}
+		rowf(eng, "%12.2f", vals...)
+	}
+
+	figure("batch-solo", "path")
+	header("Batch: solo-submitter latency, ns/op", "direct", "combined")
+	iters := 20000
+	if *quickFlag {
+		iters = 2000
+	}
+	for _, eng := range bench.BatchEngines {
+		d, c, err := bench.BatchSoloLatency(eng, cfg, iters, *repsFlag)
+		if err != nil {
+			return err
+		}
+		row(eng, d, c)
 	}
 	return nil
 }

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"onefile/internal/core"
@@ -42,10 +43,16 @@ func main() {
 }
 
 func run(path string) error {
+	return inspect(path, os.Stdout, *heapFlag, *threadsFlag, *storesFlag, *rootsFlag)
+}
+
+// inspect re-attaches a read-only engine to the snapshot at path, runs null
+// recovery, and writes the report to out.
+func inspect(path string, out io.Writer, heapWords, maxThreads, maxStores int, showRoots bool) error {
 	opts := []tm.Option{
-		tm.WithHeapWords(*heapFlag),
-		tm.WithMaxThreads(*threadsFlag),
-		tm.WithMaxStores(*storesFlag),
+		tm.WithHeapWords(heapWords),
+		tm.WithMaxThreads(maxThreads),
+		tm.WithMaxStores(maxStores),
 	}
 	dev, err := pmem.New(core.DeviceConfig(pmem.StrictMode, 0, opts...))
 	if err != nil {
@@ -64,33 +71,33 @@ func run(path string) error {
 		return fmt.Errorf("attach: %w", err)
 	}
 
-	fmt.Printf("snapshot:      %s\n", path)
-	fmt.Printf("heap:          %d words (%d KiB of TM data)\n", *heapFlag, *heapFlag*8/1024)
-	fmt.Printf("thread slots:  %d, write-set capacity %d stores\n", *threadsFlag, *storesFlag)
+	fmt.Fprintf(out, "snapshot:      %s\n", path)
+	fmt.Fprintf(out, "heap:          %d words (%d KiB of TM data)\n", heapWords, heapWords*8/1024)
+	fmt.Fprintf(out, "thread slots:  %d, write-set capacity %d stores\n", maxThreads, maxStores)
 
 	var alloc, free uint64
 	var auditOK bool
 	var liveRoots int
 	e.Read(func(tx tm.Tx) uint64 {
 		alloc, free, auditOK = talloc.Audit(tx, e.DynBase())
-		if *rootsFlag {
-			fmt.Println("roots:")
+		if showRoots {
+			fmt.Fprintln(out, "roots:")
 			for i := 0; i < tm.NumRoots; i++ {
 				if v := tx.Load(tm.Root(i)); v != 0 {
 					liveRoots++
-					fmt.Printf("  slot %2d = %d\n", i, v)
+					fmt.Fprintf(out, "  slot %2d = %d\n", i, v)
 				}
 			}
 		}
 		return 0
 	})
-	fmt.Printf("live roots:    %d of %d\n", liveRoots, tm.NumRoots)
-	fmt.Printf("allocator:     %d words allocated, %d words on free lists\n", alloc, free)
+	fmt.Fprintf(out, "live roots:    %d of %d\n", liveRoots, tm.NumRoots)
+	fmt.Fprintf(out, "allocator:     %d words allocated, %d words on free lists\n", alloc, free)
 	if !auditOK {
 		return fmt.Errorf("allocator audit FAILED: heap does not tile into valid blocks")
 	}
-	fmt.Println("audit:         OK (heap tiles exactly; no leaks, no corruption)")
+	fmt.Fprintln(out, "audit:         OK (heap tiles exactly; no leaks, no corruption)")
 	s := e.Stats()
-	fmt.Printf("recovery:      null recovery complete (helps=%d)\n", s.Helps)
+	fmt.Fprintf(out, "recovery:      null recovery complete (helps=%d)\n", s.Helps)
 	return nil
 }

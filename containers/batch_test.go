@@ -1,0 +1,124 @@
+package containers
+
+import (
+	"testing"
+)
+
+// The batched entry points must behave like their per-element loops on
+// every engine — combining (OneFile) and not (TinySTM baseline) alike.
+
+func TestQueueEnqueueAllDequeueAll(t *testing.T) {
+	forEach(t, func(t *testing.T, e Engine) {
+		q := NewQueue(e, 0)
+		vs := make([]uint64, 100)
+		for i := range vs {
+			vs[i] = uint64(i * 3)
+		}
+		if err := q.EnqueueAll(vs); err != nil {
+			t.Fatalf("EnqueueAll: %v", err)
+		}
+		if q.Len() != len(vs) {
+			t.Fatalf("Len = %d, want %d", q.Len(), len(vs))
+		}
+		got, err := q.DequeueAll(len(vs) + 10) // over-ask: queue runs empty
+		if err != nil {
+			t.Fatalf("DequeueAll: %v", err)
+		}
+		if len(got) != len(vs) {
+			t.Fatalf("DequeueAll returned %d values, want %d", len(got), len(vs))
+		}
+		for i, v := range got {
+			if v != vs[i] {
+				t.Fatalf("FIFO order broken at %d: got %d, want %d", i, v, vs[i])
+			}
+		}
+		if q.Len() != 0 {
+			t.Fatalf("queue not empty after DequeueAll: %d", q.Len())
+		}
+	})
+}
+
+func TestStackPushAll(t *testing.T) {
+	forEach(t, func(t *testing.T, e Engine) {
+		s := NewStack(e, 1)
+		vs := []uint64{1, 2, 3, 4, 5}
+		if err := s.PushAll(vs); err != nil {
+			t.Fatalf("PushAll: %v", err)
+		}
+		for i := len(vs) - 1; i >= 0; i-- { // LIFO: last pushed pops first
+			v, ok := s.Pop()
+			if !ok || v != vs[i] {
+				t.Fatalf("Pop = (%d,%v), want (%d,true)", v, ok, vs[i])
+			}
+		}
+		if _, ok := s.Pop(); ok {
+			t.Fatal("stack not empty")
+		}
+	})
+}
+
+func TestHashSetAddAll(t *testing.T) {
+	forEach(t, func(t *testing.T, e Engine) {
+		h := NewHashSet(e, 2)
+		h.Add(7)                      // pre-existing member
+		ks := []uint64{5, 6, 7, 8, 5} // one duplicate with the set, one within ks
+		added, err := h.AddAll(ks)
+		if err != nil {
+			t.Fatalf("AddAll: %v", err)
+		}
+		if added != 3 {
+			t.Fatalf("added = %d, want 3 (5, 6, 8)", added)
+		}
+		for _, k := range []uint64{5, 6, 7, 8} {
+			if !h.Contains(k) {
+				t.Fatalf("Contains(%d) = false after AddAll", k)
+			}
+		}
+		if h.Len() != 4 {
+			t.Fatalf("Len = %d, want 4", h.Len())
+		}
+	})
+}
+
+// TestBatchConcurrentProducers interleaves EnqueueAll calls from several
+// goroutines: every element must arrive exactly once, and each caller's
+// elements must stay in relative FIFO order.
+func TestBatchConcurrentProducers(t *testing.T) {
+	forEach(t, func(t *testing.T, e Engine) {
+		const producers, perP = 4, 50
+		q := NewQueue(e, 0)
+		done := make(chan error, producers)
+		for p := 0; p < producers; p++ {
+			vs := make([]uint64, perP)
+			for i := range vs {
+				vs[i] = uint64(p*1000 + i)
+			}
+			go func() { done <- q.EnqueueAll(vs) }()
+		}
+		for p := 0; p < producers; p++ {
+			if err := <-done; err != nil {
+				t.Fatalf("EnqueueAll: %v", err)
+			}
+		}
+		if q.Len() != producers*perP {
+			t.Fatalf("Len = %d, want %d", q.Len(), producers*perP)
+		}
+		next := make([]int, producers) // per-producer FIFO cursor
+		for {
+			v, ok := q.Dequeue()
+			if !ok {
+				break
+			}
+			p, i := int(v/1000), int(v%1000)
+			if i != next[p] {
+				t.Fatalf("producer %d out of order: got %d, want %d", p, i, next[p])
+			}
+			next[p]++
+		}
+		for p, n := range next {
+			if n != perP {
+				t.Fatalf("producer %d: %d of %d elements arrived", p, n, perP)
+			}
+		}
+	})
+}

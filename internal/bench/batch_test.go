@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBatchSweepShape smoke-tests both regimes of the group-commit sweep on
+// one volatile and one persistent engine: every point must report positive
+// throughput, the persistent direct baseline must pay ordering fences, and
+// batching must reduce fences per op (the amortisation the sweep exists to
+// measure). Durations are tiny — this checks shape, not performance.
+func TestBatchSweepShape(t *testing.T) {
+	windows := []int{2, 8}
+	for _, eng := range []string{"OF-LF", "OF-LF-PTM"} {
+		for _, threads := range []int{1, 4} {
+			cfg := BatchConfig{
+				Entries:    64,
+				SwapsPerOp: 1,
+				Threads:    threads,
+				Duration:   20 * time.Millisecond,
+			}
+			ps, err := BatchSweep(eng, windows, cfg)
+			if err != nil {
+				t.Fatalf("%s threads=%d: %v", eng, threads, err)
+			}
+			if len(ps) != len(windows)+1 {
+				t.Fatalf("%s threads=%d: got %d points, want %d", eng, threads, len(ps), len(windows)+1)
+			}
+			for i, p := range ps {
+				if p.SPS <= 0 {
+					t.Errorf("%s threads=%d point %d: SPS = %v", eng, threads, i, p.SPS)
+				}
+			}
+			direct, batched := ps[0], ps[len(ps)-1]
+			if eng == "OF-LF-PTM" {
+				if direct.FencesPerOp <= 0 {
+					t.Errorf("%s threads=%d: direct fences/op = %v, want > 0", eng, threads, direct.FencesPerOp)
+				}
+				if batched.FencesPerOp >= direct.FencesPerOp {
+					t.Errorf("%s threads=%d: batched fences/op %v not below direct %v",
+						eng, threads, batched.FencesPerOp, direct.FencesPerOp)
+				}
+			} else if direct.FencesPerOp != 0 {
+				t.Errorf("%s threads=%d: volatile engine reports fences/op = %v", eng, threads, direct.FencesPerOp)
+			}
+		}
+	}
+}
+
+// TestBatchSoloLatencySmoke checks the solo-latency pair returns sane
+// numbers for a volatile and a persistent engine.
+func TestBatchSoloLatencySmoke(t *testing.T) {
+	for _, eng := range []string{"OF-LF", "OF-WF-PTM"} {
+		d, c, err := BatchSoloLatency(eng, BatchConfig{Entries: 64, SwapsPerOp: 1}, 500, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		if d <= 0 || c <= 0 {
+			t.Errorf("%s: latencies direct=%v combined=%v, want > 0", eng, d, c)
+		}
+	}
+}

@@ -10,7 +10,8 @@ import (
 // their 10^3..10^6-entry integer arrays.
 type bigArray struct {
 	e     tm.Engine
-	table tm.Ptr // block of segment pointers
+	table tm.Ptr   // block of segment pointers
+	seg   []tm.Ptr // segment pointers, resolved once at construction
 	segs  int
 	n     int
 }
@@ -43,13 +44,23 @@ func newBigArray(e tm.Engine, rootSlot, n int) *bigArray {
 			return 0
 		})
 	}
-	return &bigArray{e: e, table: table, segs: segs, n: n}
+	// The segment table is immutable from here on, so resolve it once: the
+	// paper's SPS arrays are plain arrays, and re-reading the table word
+	// transactionally on every access would bill two extra interposed loads
+	// per swap to address arithmetic.
+	ptrs := make([]tm.Ptr, segs)
+	e.Read(func(tx tm.Tx) uint64 {
+		for s := range ptrs {
+			ptrs[s] = tm.Ptr(tx.Load(table + tm.Ptr(s)))
+		}
+		return 0
+	})
+	return &bigArray{e: e, table: table, seg: ptrs, segs: segs, n: n}
 }
 
 // word returns the heap word backing index i.
 func (a *bigArray) word(tx tm.Tx, i int) tm.Ptr {
-	seg := tm.Ptr(tx.Load(a.table + tm.Ptr(i/segWords)))
-	return seg + tm.Ptr(i%segWords)
+	return a.seg[i/segWords] + tm.Ptr(i%segWords)
 }
 
 func (a *bigArray) get(tx tm.Tx, i int) uint64    { return tx.Load(a.word(tx, i)) }

@@ -65,6 +65,11 @@ const (
 	// commits when the engine is not oversubscribed.
 	yieldEveryMin = 32
 	yieldEveryMax = 1024
+	// combineWindowMax bounds the group-commit drain window (boundary
+	// yields the combiner waits for more submissions to land; see
+	// combine.go). Small on purpose: each pass is one Gosched, and the
+	// window only opens when tune() sees real contention.
+	combineWindowMax = 8
 	// yieldStaleSeqs is the era-staleness threshold (in transaction
 	// sequence numbers) above which tune() treats a sampled MinProtected
 	// as evidence of a mid-transaction preemption and tightens the
@@ -89,6 +94,11 @@ type contention struct {
 	// and no era announced, so oversubscribed workers rotate at points
 	// where being descheduled pins nothing (collapse mode 3 above).
 	yieldEvery atomic.Uint32
+	// combineWindow is the group-commit drain window: how many boundary
+	// yields a combiner that found work waits for further submissions
+	// before executing (combine.go). Zero while the engine is quiet, so a
+	// solo submitter never waits for a batch that is not forming.
+	combineWindow atomic.Uint32
 	// waiters counts goroutines registered on (or entering) the parking
 	// list; release skips the park mutex entirely while it is zero.
 	waiters atomic.Int32
@@ -308,6 +318,21 @@ func (e *Engine) tune() {
 	contended := 4*(da+dh) >= dc // >25% of commits saw a help or an abort
 	adjustBudget(&c.spinBudget, !contended, acquireSpinMin, acquireSpinMax)
 	adjustBudget(&c.helpBackoff, contended, helpBackoffMin, helpBackoffMax)
+
+	// Group-commit drain window: contention means submissions overlap, so
+	// waiting a few boundary yields grows batches and amortises the commit
+	// pipeline; quiet means a waiting combiner would only add latency, so
+	// the window decays to zero (fast-open, fast-close — both directions
+	// converge within three tune periods).
+	if contended {
+		w := c.combineWindow.Load() * 2
+		if w == 0 {
+			w = 2
+		}
+		c.combineWindow.Store(clampU32(w, 0, combineWindowMax))
+	} else {
+		c.combineWindow.Store(c.combineWindow.Load() / 2)
+	}
 
 	cur := seqOf(e.curTx.Load())
 	min := e.eras.MinProtected()

@@ -190,6 +190,10 @@ type Engine struct {
 	// admission, helper deduplication budgets, adaptive spin sizing.
 	cm contention
 
+	// comb is the group-commit combining layer (combine.go): AsyncUpdate/
+	// BatchUpdate submissions merged into single engine transactions.
+	comb combiner
+
 	// The two globally contended words, each padded onto its own line.
 	_         [64]byte
 	curTx     atomic.Uint64
@@ -411,9 +415,11 @@ func (e *Engine) Stats() tm.Stats {
 		s.DCAS += st.dcas.Load()
 		s.AggregatedOp += st.aggregated.Load()
 	}
+	s.Batches = e.comb.batches.Load()
+	s.BatchedOps = e.comb.batchedOps.Load()
 	if e.dev != nil {
 		d := e.dev.Stats()
-		s.Pwb, s.Pfence = d.Pwb, d.Pfence
+		s.Pwb, s.Pfence, s.Pdrain = d.Pwb, d.Pfence, d.Pdrain
 	}
 	return s
 }
@@ -436,6 +442,10 @@ func (e *Engine) DynBase() tm.Ptr { return e.dynBase }
 func (e *Engine) Close() error {
 	e.closed.Store(true)
 	e.wakeAll()
+	// Fail queued combiner submissions: their submitters are parked on
+	// futures, not on the slot wait list, so the wake-all above cannot
+	// reach them (combine.go).
+	e.failPending(tm.ErrEngineClosed)
 	return nil
 }
 

@@ -18,8 +18,9 @@ const linearMax = 40
 // the apply phase; on the persistent engines that array is a window into
 // the emulated NVM device. Everything else (the count under construction,
 // the hash index, and a plain mirror of the entries) is owner-private: the
-// transform phase's own lookups read the mirror with ordinary loads, paying
-// the shared array's atomic stores only once per recorded store.
+// whole transform phase works on the mirror with ordinary loads and stores,
+// and publish() copies the final entries into the shared array once, just
+// before the request opens — helpers never look earlier.
 type writeSet struct {
 	num *atomic.Uint64  // shared store count (numStores), published at commit
 	ent []atomic.Uint64 // shared entries: ent[2i] = address, ent[2i+1] = value
@@ -37,6 +38,15 @@ type writeSet struct {
 	ver     uint32
 	mask    uint32
 	hashed  bool
+
+	// Replacement undo log, recorded only while a combined transaction
+	// is executing (beginUndo): rollbackTo needs the pre-image of every
+	// in-place value replacement to unwind one operation's stores without
+	// discarding its batchmates'. Appends need no undo — truncation
+	// discards them.
+	recording bool
+	undoIdx   []int32
+	undoVal   []uint64
 }
 
 func newWriteSet(num *atomic.Uint64, ent []atomic.Uint64, maxStores int) writeSet {
@@ -61,6 +71,7 @@ func newWriteSet(num *atomic.Uint64, ent []atomic.Uint64, maxStores int) writeSe
 func (w *writeSet) reset() {
 	w.n = 0
 	w.hashed = false
+	w.recording = false
 	w.ver++
 	if w.ver == 0 { // version wrapped: invalidate all buckets the slow way
 		clear(w.bver)
@@ -111,16 +122,14 @@ func (w *writeSet) addOrReplace(addr, val uint64) {
 	if !w.hashed {
 		for i := 0; i < w.n; i++ {
 			if w.keys[i] == addr {
-				w.vals[i] = val
-				w.ent[2*i+1].Store(val)
+				w.replace(i, val)
 				return
 			}
 		}
 	} else {
 		for i := *w.bucket(addr); i >= 0; i = w.next[i] {
 			if w.keys[i] == addr {
-				w.vals[i] = val
-				w.ent[2*i+1].Store(val)
+				w.replace(int(i), val)
 				return
 			}
 		}
@@ -130,8 +139,6 @@ func (w *writeSet) addOrReplace(addr, val uint64) {
 	}
 	i := w.n
 	w.keys[i], w.vals[i] = addr, val
-	w.ent[2*i].Store(addr)
-	w.ent[2*i+1].Store(val)
 	w.n++
 	if w.hashed {
 		b := w.bucket(addr)
@@ -153,6 +160,69 @@ func (w *writeSet) buildHash() {
 	}
 }
 
-// publish makes the store count visible to helpers (called just before the
-// request is opened).
-func (w *writeSet) publish() { w.num.Store(uint64(w.n)) }
+// publish copies the final entries into the shared log and makes the store
+// count visible to helpers (called just before the request is opened — the
+// only point the shared array has to agree with the mirror). Deferring the
+// copy keeps the transform phase free of shared-array traffic: a combined
+// transaction that replaces a hot word hundreds of times pays exactly one
+// shared store for it here.
+func (w *writeSet) publish() {
+	for i := 0; i < w.n; i++ {
+		w.ent[2*i].Store(w.keys[i])
+		w.ent[2*i+1].Store(w.vals[i])
+	}
+	w.num.Store(uint64(w.n))
+}
+
+// replace overwrites entry i's pending value, recording the pre-image when
+// a combined transaction is executing.
+func (w *writeSet) replace(i int, val uint64) {
+	if w.recording {
+		w.undoIdx = append(w.undoIdx, int32(i))
+		w.undoVal = append(w.undoVal, w.vals[i])
+	}
+	w.vals[i] = val
+}
+
+// wsMark is a checkpoint of the write-set taken between two operations of a
+// combined transaction.
+type wsMark struct {
+	n    int
+	undo int
+}
+
+// beginUndo arms replacement recording for a combined-transaction body.
+// reset() disarms it, so ordinary transactions never pay for the undo log.
+// Called at the start of every execution of the body (executions on the
+// wait-free engines may run on helper goroutines, each against its own
+// slot's write-set).
+func (w *writeSet) beginUndo() {
+	w.recording = true
+	w.undoIdx = w.undoIdx[:0]
+	w.undoVal = w.undoVal[:0]
+}
+
+// mark checkpoints the write-set before one operation of a combined
+// transaction runs.
+func (w *writeSet) mark() wsMark { return wsMark{n: w.n, undo: len(w.undoIdx)} }
+
+// rollbackTo unwinds every store recorded since m: replacements are undone
+// newest-first (restoring the value each entry held at the mark), then the
+// entries appended since the mark are unlinked from the hash index and
+// truncated. Unlinking newest-first keeps the intrusive chains exact: an
+// appended entry is always at the head of its bucket once every later
+// entry has been removed.
+func (w *writeSet) rollbackTo(m wsMark) {
+	for i := len(w.undoIdx) - 1; i >= m.undo; i-- {
+		w.vals[w.undoIdx[i]] = w.undoVal[i]
+	}
+	w.undoIdx = w.undoIdx[:m.undo]
+	w.undoVal = w.undoVal[:m.undo]
+	for i := w.n - 1; i >= m.n; i-- {
+		if w.hashed {
+			b := w.bucket(w.keys[i])
+			*b = w.next[i]
+		}
+	}
+	w.n = m.n
+}

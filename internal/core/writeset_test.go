@@ -133,3 +133,86 @@ func TestQuickWriteSetMatchesMap(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestWriteSetRollback: rollbackTo must restore exactly the state at the
+// mark — replacements undone, appended entries unlinked — in both lookup
+// regimes.
+func TestWriteSetRollback(t *testing.T) {
+	for _, preload := range []int{3, linearMax + 10} { // linear and hashed
+		ws := newTestWS(1 << 10)
+		ws.reset()
+		ws.beginUndo()
+		for i := 0; i < preload; i++ {
+			ws.addOrReplace(uint64(100+i), uint64(i))
+		}
+		m := ws.mark()
+		ws.addOrReplace(100, 777) // replace a pre-mark entry
+		ws.addOrReplace(9000, 1)  // append
+		ws.addOrReplace(9001, 2)  // append
+		ws.addOrReplace(9000, 3)  // replace a post-mark entry
+		ws.rollbackTo(m)
+		if ws.n != preload {
+			t.Fatalf("preload=%d: n = %d after rollback", preload, ws.n)
+		}
+		for i := 0; i < preload; i++ {
+			if v, ok := ws.lookup(uint64(100 + i)); !ok || v != uint64(i) {
+				t.Fatalf("preload=%d: lookup(%d) = %d,%v after rollback", preload, 100+i, v, ok)
+			}
+		}
+		for _, gone := range []uint64{9000, 9001} {
+			if _, ok := ws.lookup(gone); ok {
+				t.Fatalf("preload=%d: rolled-back entry %d still visible", preload, gone)
+			}
+		}
+		// The set must remain fully usable after a rollback.
+		ws.addOrReplace(9000, 42)
+		if v, _ := ws.lookup(9000); v != 42 {
+			t.Fatalf("preload=%d: add after rollback failed", preload)
+		}
+	}
+}
+
+// TestQuickWriteSetRollbackMatchesMap property: interleaving addOrReplace
+// with mark/rollback behaves exactly like snapshotting and restoring a map,
+// including across the linear→hash transition.
+func TestQuickWriteSetRollbackMatchesMap(t *testing.T) {
+	f := func(ops []uint16, cut uint8) bool {
+		ws := newTestWS(1 << 12)
+		ws.reset()
+		ws.beginUndo()
+		model := map[uint64]uint64{}
+		// Phase 1: ops before the mark.
+		k := int(cut) % (len(ops) + 1)
+		for i, op := range ops[:k] {
+			addr := uint64(op%97 + 1)
+			ws.addOrReplace(addr, uint64(i))
+			model[addr] = uint64(i)
+		}
+		snap := make(map[uint64]uint64, len(model))
+		for a, v := range model {
+			snap[a] = v
+		}
+		m := ws.mark()
+		// Phase 2: ops after the mark, then roll back.
+		for i, op := range ops[k:] {
+			addr := uint64(op%97 + 1)
+			ws.addOrReplace(addr, uint64(1000+i))
+		}
+		ws.rollbackTo(m)
+		if ws.n != len(snap) {
+			return false
+		}
+		for a, want := range snap {
+			if got, ok := ws.lookup(a); !ok || got != want {
+				return false
+			}
+		}
+		if _, hit := ws.lookup(5000); hit {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

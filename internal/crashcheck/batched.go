@@ -1,0 +1,185 @@
+package crashcheck
+
+import (
+	"errors"
+	"fmt"
+
+	"onefile/internal/pmem"
+	"onefile/internal/talloc"
+	"onefile/internal/tm"
+)
+
+// Batched crash sweep: the same canonical workload, but the mixed-operation
+// transactions are submitted through the engine's group-commit combiner
+// (tm.Batch) in chunks of Config.Batch, so one *physical* transaction
+// carries several workload transactions. The differential invariant gets
+// correspondingly stronger: a crash inside a combined transaction must
+// recover to the oracle state either before the whole chunk or after the
+// whole chunk — any intermediate prefix is a *torn batch*, i.e. the
+// combined commit was not all-or-nothing. The generation root stamps every
+// workload transaction with a distinct value, so each intermediate prefix
+// has a distinct digest and tearing cannot hide.
+//
+// Only engines whose combiner actually merges submissions (tm.Combining —
+// the OneFile PTMs) are eligible: the portable tm.Batch fallback runs one
+// engine transaction per operation, which carries no batch atomicity to
+// verify.
+
+// runBatched executes the program with the workload transactions submitted
+// in chunks of batch through tm.Batch. The three container-creation
+// transactions stay solo (the handles must exist before any chunk runs).
+// acked is called with the number of workload transactions each completed
+// chunk carried (1 for setup transactions).
+func (p *Program) runBatched(e tm.Engine, batch int, acked func(n int)) error {
+	q, hs, tmp, rest := p.runSetup(e, acked)
+	for start := 0; start < len(rest); start += batch {
+		end := min(start+batch, len(rest))
+		chunk := rest[start:end]
+		fns := make([]func(tm.Tx) uint64, len(chunk))
+		for i, t := range chunk {
+			tcopy := t
+			fns[i] = func(tx tm.Tx) uint64 {
+				tx.Store(tm.Root(slotGen), tcopy.gen)
+				p.applyOps(tx, tcopy, q, hs, tmp)
+				return 0
+			}
+		}
+		for i, r := range tm.Batch(e, fns) {
+			if r.Err != nil {
+				return fmt.Errorf("batched txn %d: %w", start+i, r.Err)
+			}
+		}
+		acked(len(chunk))
+	}
+	return nil
+}
+
+// inflightAt returns how many workload transactions the chunk in flight
+// after acked completed ones carries (0 when the program is done).
+func (p *Program) inflightAt(acked, batch int) int {
+	if acked < 3 { // still in solo setup
+		return 1
+	}
+	rest := len(p.txns) - acked
+	return min(rest, batch)
+}
+
+// EnumerateBatched counts the persistence events of the batched canonical
+// workload (the batched crash-point space). The workload is single-threaded
+// and the combiner drains deterministically, so the count is a pure
+// function of (engine, program, batch).
+func EnumerateBatched(def EngineDef, mode pmem.Mode, p *Program, batch int) (int, error) {
+	dev, err := pmem.New(def.DeviceConfig(mode, 1, engineOpts()...))
+	if err != nil {
+		return 0, err
+	}
+	e, err := def.New(dev, false, engineOpts()...)
+	if err != nil {
+		return 0, err
+	}
+	if _, ok := e.(tm.Combining); !ok {
+		return 0, fmt.Errorf("crashcheck: %s has no group-commit combiner; batched sweep is not meaningful", def.Name)
+	}
+	n := 0
+	dev.SetHook(func(pmem.Event) { n++ })
+	err = p.runBatched(e, batch, func(int) {})
+	dev.SetHook(nil)
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// RunPointBatched is RunPoint for the batched workload: crash at
+// persistence event number event (1-based), recover, verify — with the
+// all-or-nothing window widened to the whole in-flight chunk and
+// intermediate prefixes reported as torn batches.
+func RunPointBatched(def EngineDef, mode pmem.Mode, devSeed int64, p *Program, batch, event int) (completed bool, err error) {
+	dev, err := pmem.New(def.DeviceConfig(mode, devSeed, engineOpts()...))
+	if err != nil {
+		return false, err
+	}
+	e, err := def.New(dev, false, engineOpts()...)
+	if err != nil {
+		return false, err
+	}
+
+	n := 0
+	dev.SetHook(func(pmem.Event) {
+		n++
+		if n >= event {
+			panic(crashSignal{event: event})
+		}
+	})
+	acked := 0
+	crashed := false
+	var runErr error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(crashSignal); ok {
+					crashed = true
+					return
+				}
+				panic(r)
+			}
+		}()
+		runErr = p.runBatched(e, batch, func(k int) { acked += k })
+	}()
+	dev.SetHook(nil)
+	if runErr != nil {
+		return false, runErr
+	}
+	if !crashed {
+		return true, nil
+	}
+	inflight := p.inflightAt(acked, batch)
+
+	dev.Crash()
+
+	r, err := def.New(dev, true, engineOpts()...)
+	if err != nil {
+		return false, fmt.Errorf("recovery failed after %d acked txns: %w", acked, err)
+	}
+
+	auditOK := false
+	r.Read(func(tx tm.Tx) uint64 {
+		db, ok := r.(interface{ DynBase() tm.Ptr })
+		if !ok {
+			return 0
+		}
+		_, _, auditOK = talloc.Audit(tx, db.DynBase())
+		return 0
+	})
+	if !auditOK {
+		return false, fmt.Errorf("allocator audit failed after %d acked txns", acked)
+	}
+
+	// Differential state with batch atomicity: exactly StateAfter(acked)
+	// (in-flight chunk entirely lost) or StateAfter(acked+inflight)
+	// (entirely durable). An intermediate prefix means the combined
+	// transaction tore.
+	got := readState(r)
+	next := min(acked+inflight, p.Len())
+	if got != p.StateAfter(acked) && got != p.StateAfter(next) {
+		for k := acked + 1; k < next; k++ {
+			if got == p.StateAfter(k) {
+				return false, fmt.Errorf(
+					"TORN BATCH after %d acked txns: recovered to intermediate prefix k=%d of in-flight chunk [%d,%d]",
+					acked, k, acked+1, next)
+			}
+		}
+		return false, fmt.Errorf(
+			"oracle divergence after %d acked txns (batch=%d):\n--- recovered ---\n%s\n--- want (k=%d) ---\n%s\n--- or (k=%d) ---\n%s",
+			acked, batch, got, acked, p.StateAfter(acked), next, p.StateAfter(next))
+	}
+
+	r.Update(func(tx tm.Tx) uint64 {
+		tx.Store(tm.Root(8), 0xBEEF)
+		return 0
+	})
+	if v := r.Read(func(tx tm.Tx) uint64 { return tx.Load(tm.Root(8)) }); v != 0xBEEF {
+		return false, errors.New("post-recovery update lost")
+	}
+	return false, nil
+}

@@ -82,6 +82,12 @@ type Config struct {
 	Seed int64
 	// Stride checks every Stride-th event index (1 = exhaustive).
 	Stride int
+	// Batch > 1 runs the combined-transaction sweep: workload transactions
+	// are submitted in chunks of Batch through the engine's group-commit
+	// combiner, and recovery must be all-or-nothing across each whole
+	// chunk (batched.go). Only combining engines (the OneFile PTMs) are
+	// eligible; with no explicit Engines they are the default set.
+	Batch int
 	// Strict enables the StrictMode sweep.
 	Strict bool
 	// RelaxedSeeds are device seeds for the RelaxedMode sweeps; empty
@@ -243,8 +249,12 @@ func Run(cfg Config) (*Result, error) {
 	}
 	names := cfg.Engines
 	if len(names) == 0 {
-		for _, d := range Engines() {
-			names = append(names, d.Name)
+		if cfg.Batch > 1 {
+			names = []string{"OF-LF-PTM", "OF-WF-PTM"}
+		} else {
+			for _, d := range Engines() {
+				names = append(names, d.Name)
+			}
 		}
 	}
 	p := NewProgram(cfg.Seed, cfg.Txns)
@@ -268,15 +278,26 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		for _, sw := range sweeps {
-			events, err := Enumerate(def, sw.mode, p)
+			var events int
+			var err error
+			if cfg.Batch > 1 {
+				events, err = EnumerateBatched(def, sw.mode, p, cfg.Batch)
+			} else {
+				events, err = Enumerate(def, sw.mode, p)
+			}
 			if err != nil {
 				return nil, fmt.Errorf("crashcheck: enumerating %s: %w", name, err)
 			}
 			res.Events[name] = events
-			logf("%s mode=%d devseed=%d: %d persistence events, checking every %d",
-				name, sw.mode, sw.devSeed, events, cfg.Stride)
+			logf("%s mode=%d devseed=%d batch=%d: %d persistence events, checking every %d",
+				name, sw.mode, sw.devSeed, cfg.Batch, events, cfg.Stride)
 			for i := 1; i <= events; i += cfg.Stride {
-				completed, err := RunPoint(def, sw.mode, sw.devSeed, p, i)
+				var completed bool
+				if cfg.Batch > 1 {
+					completed, err = RunPointBatched(def, sw.mode, sw.devSeed, p, cfg.Batch, i)
+				} else {
+					completed, err = RunPoint(def, sw.mode, sw.devSeed, p, i)
+				}
 				if completed {
 					break
 				}

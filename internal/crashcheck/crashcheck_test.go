@@ -64,3 +64,46 @@ func TestCrashMatrixRelaxedStride(t *testing.T) {
 		t.Fatal("matrix exercised no crash points")
 	}
 }
+
+// TestCrashMatrixCombined is the batch-atomicity sweep (satellite of the
+// group-commit layer): workload transactions are merged into combined
+// engine transactions by the combiner, and a crash at every persistence
+// event must recover to a state before or after each whole chunk — never an
+// intermediate prefix (a torn batch). StrictMode, both OneFile PTMs.
+func TestCrashMatrixCombined(t *testing.T) {
+	seed := testutil.Seed(t, 1)
+	cfg := Config{
+		Seed:   seed,
+		Txns:   8,
+		Batch:  4,
+		Stride: 1,
+		Strict: true,
+		Logf:   t.Logf,
+	}
+	if testing.Short() {
+		cfg.Txns = 5
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	t.Logf("combined sweep: %d crash points, %d violations", res.Points, len(res.Violations))
+	if res.Points == 0 {
+		t.Fatal("combined matrix exercised no crash points")
+	}
+}
+
+// TestBatchedSweepRejectsNonCombining: batched mode on an engine without a
+// combiner is a configuration error, not a silent per-op fallback.
+func TestBatchedSweepRejectsNonCombining(t *testing.T) {
+	_, err := Run(Config{
+		Seed: 1, Txns: 3, Batch: 4, Strict: true,
+		Engines: []string{"PMDK"},
+	})
+	if err == nil {
+		t.Fatal("batched sweep on PMDK did not error")
+	}
+}

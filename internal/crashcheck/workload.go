@@ -202,47 +202,58 @@ func (m *model) digest() string {
 
 // --- engine-side execution and read-back ---
 
-// run executes transactions [from, len) of the program on e, calling acked
-// after each Update returns. Container handles are attach-or-create, so run
-// works both on a fresh engine and mid-program (it is only ever called from
-// the start here; handles are created by the setup transactions).
-func (p *Program) run(e tm.Engine, acked func()) {
-	var (
-		q   *containers.Queue
-		hs  *containers.HashSet
-		tmp *containers.TreeMap
-	)
-	for _, t := range p.txns {
-		switch t.setup {
+// runSetup executes the leading container-creation transactions (each is
+// its own engine transaction), calling acked(1) per transaction, and
+// returns the container handles plus the remaining workload transactions.
+func (p *Program) runSetup(e tm.Engine, acked func(n int)) (q *containers.Queue, hs *containers.HashSet, tmp *containers.TreeMap, rest []txn) {
+	i := 0
+	for ; i < len(p.txns) && p.txns[i].setup > 0; i++ {
+		switch p.txns[i].setup {
 		case 1:
 			q = containers.NewQueue(e, slotQueue)
 		case 2:
 			hs = containers.NewHashSet(e, slotSet)
 		case 3:
 			tmp = containers.NewTreeMap(e, slotMap)
-		default:
-			tcopy := t
-			e.Update(func(tx tm.Tx) uint64 {
-				tx.Store(tm.Root(slotGen), tcopy.gen)
-				for _, op := range tcopy.ops {
-					switch op.kind {
-					case opEnqueue:
-						q.EnqueueTx(tx, op.val)
-					case opDequeue:
-						q.DequeueTx(tx)
-					case opSetAdd:
-						hs.AddTx(tx, op.key)
-					case opSetRemove:
-						hs.RemoveTx(tx, op.key)
-					case opMapPut:
-						tmp.PutTx(tx, op.key, op.val)
-					case opMapDelete:
-						tmp.DeleteTx(tx, op.key)
-					}
-				}
-				return 0
-			})
 		}
+		acked(1)
+	}
+	return q, hs, tmp, p.txns[i:]
+}
+
+// applyOps applies one workload transaction's container operations inside
+// tx.
+func (p *Program) applyOps(tx tm.Tx, t txn, q *containers.Queue, hs *containers.HashSet, tmp *containers.TreeMap) {
+	for _, op := range t.ops {
+		switch op.kind {
+		case opEnqueue:
+			q.EnqueueTx(tx, op.val)
+		case opDequeue:
+			q.DequeueTx(tx)
+		case opSetAdd:
+			hs.AddTx(tx, op.key)
+		case opSetRemove:
+			hs.RemoveTx(tx, op.key)
+		case opMapPut:
+			tmp.PutTx(tx, op.key, op.val)
+		case opMapDelete:
+			tmp.DeleteTx(tx, op.key)
+		}
+	}
+}
+
+// run executes the whole program on e, one engine transaction per workload
+// transaction, calling acked after each Update returns. Container handles
+// are attach-or-create; they are created by the setup transactions.
+func (p *Program) run(e tm.Engine, acked func()) {
+	q, hs, tmp, rest := p.runSetup(e, func(int) { acked() })
+	for _, t := range rest {
+		tcopy := t
+		e.Update(func(tx tm.Tx) uint64 {
+			tx.Store(tm.Root(slotGen), tcopy.gen)
+			p.applyOps(tx, tcopy, q, hs, tmp)
+			return 0
+		})
 		acked()
 	}
 }

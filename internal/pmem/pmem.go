@@ -88,6 +88,7 @@ type Config struct {
 type Stats struct {
 	Pwb    uint64 // persistent write-backs issued
 	Pfence uint64 // persistent fences issued
+	Pdrain uint64 // ordering drains issued (atomic-RMW-as-fence points)
 }
 
 type pendingRaw struct {
@@ -130,6 +131,7 @@ type Device struct {
 
 	pwb    atomic.Uint64
 	pfence atomic.Uint64
+	pdrain atomic.Uint64
 
 	hook atomic.Pointer[func(Event)]
 
@@ -182,13 +184,14 @@ func (d *Device) Mode() Mode { return d.cfg.Mode }
 
 // Stats returns a snapshot of the persistence counters.
 func (d *Device) Stats() Stats {
-	return Stats{Pwb: d.pwb.Load(), Pfence: d.pfence.Load()}
+	return Stats{Pwb: d.pwb.Load(), Pfence: d.pfence.Load(), Pdrain: d.pdrain.Load()}
 }
 
 // ResetStats zeroes the persistence counters.
 func (d *Device) ResetStats() {
 	d.pwb.Store(0)
 	d.pfence.Store(0)
+	d.pdrain.Store(0)
 }
 
 // SetHook installs fn to be called before every persistence event, or
@@ -379,6 +382,7 @@ func (d *Device) Fence(slot int) {
 // paper's "the successful CAS acts as a pfence").
 func (d *Device) Drain(slot int) {
 	d.fire(EvDrain)
+	d.pdrain.Add(1)
 	if d.cfg.Mode == RelaxedMode {
 		d.drain(slot)
 	}

@@ -203,6 +203,7 @@ func (e *Engine) Stats() tm.Stats {
 		AggregatedOp: e.combined.Load(),
 		Pwb:          d.Pwb,
 		Pfence:       d.Pfence,
+		Pdrain:       d.Pdrain,
 	}
 }
 

@@ -120,7 +120,10 @@ type Stats struct {
 	DCAS         uint64 // double-word CAS operations (TM word applies)
 	Pwb          uint64 // persistent write-backs issued
 	Pfence       uint64 // persistent fences issued
+	Pdrain       uint64 // ordering drains issued (atomic-RMW-as-fence points)
 	AggregatedOp uint64 // operations executed via wait-free aggregation
+	Batches      uint64 // combined transactions executed by the group-commit layer
+	BatchedOps   uint64 // operations that ran through combined transactions
 }
 
 // Sub returns the counter-wise difference s - o.
@@ -135,6 +138,9 @@ func (s Stats) Sub(o Stats) Stats {
 		DCAS:         s.DCAS - o.DCAS,
 		Pwb:          s.Pwb - o.Pwb,
 		Pfence:       s.Pfence - o.Pfence,
+		Pdrain:       s.Pdrain - o.Pdrain,
 		AggregatedOp: s.AggregatedOp - o.AggregatedOp,
+		Batches:      s.Batches - o.Batches,
+		BatchedOps:   s.BatchedOps - o.BatchedOps,
 	}
 }

@@ -187,6 +187,7 @@ func (e *Engine) Stats() tm.Stats {
 		CAS:         e.casCount.Load(),
 		Pwb:         d.Pwb,
 		Pfence:      d.Pfence,
+		Pdrain:      d.Pdrain,
 	}
 }
 

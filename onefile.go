@@ -55,6 +55,27 @@ type (
 	Option = tm.Option
 	// Stats is a snapshot of engine activity counters.
 	Stats = tm.Stats
+	// Future is the pending result of an AsyncUpdate submission.
+	Future = tm.Future
+	// BatchResult is one operation's outcome in a Batch call.
+	BatchResult = tm.BatchResult
+	// Combining is implemented by engines with a group-commit combiner
+	// (all four OneFile variants).
+	Combining = tm.Combining
+)
+
+// Group-commit entry points (DESIGN.md §10). On the OneFile engines,
+// independently submitted operations are merged into as few physical
+// transactions as possible, sharing one commit pipeline and — on the
+// persistent variants — one persistence-fence round; elsewhere they fall
+// back to plain Update.
+var (
+	// AsyncUpdate submits fn to e's combiner and returns its future.
+	AsyncUpdate = tm.AsyncUpdate
+	// Batch runs every fn as an update operation and returns the results
+	// in order; on a Combining engine one combined transaction's
+	// operations commit (and persist) atomically.
+	Batch = tm.Batch
 )
 
 // NumRoots is the number of root slots in every engine's heap.
