@@ -6,6 +6,7 @@
 //	onefile-bench -fig 2 [-threads 1,2,4,8] [-dur 1s]
 //	onefile-bench -fig 12 -kill
 //	onefile-bench -table 1
+//	onefile-bench -latency [-quick]
 //	onefile-bench -all [-json BENCH_results.json]
 //	onefile-bench -all -quick -json BENCH_results.json
 //	onefile-bench -fig 8 -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -16,7 +17,14 @@
 // kill test), 13 (oversubscription sweep — not in the paper; workers 1, P,
 // 2P, 4P at GOMAXPROCS=P, see -procs), batch (group-commit sweep — SPS and
 // pfence/op vs batch window, plus solo-submitter latency parity). Table: 1
-// (pwb/pfence/CAS per transaction).
+// (pwb/pfence/pdrain/CAS per transaction).
+//
+// -latency runs the observability-layer latency sweep: every OneFile
+// variant with a metrics registry attached, reporting engine-side
+// begin→commit p50/p99/p999 per execution path (direct update, read-only,
+// combiner solo fast path, combined batch op). The percentiles come from
+// the engines' own log-bucketed histograms (internal/obs), so they cover
+// every operation issued, not a caller-side sample.
 //
 // -json additionally writes every data point as a machine-readable report
 // (internal/bench.Report). -quick shrinks durations and working sets for a
@@ -42,6 +50,7 @@ var (
 	figFlag     = flag.String("fig", "", "figure to regenerate (2-13, or 'batch')")
 	tableFlag   = flag.Int("table", 0, "table number to regenerate (1)")
 	allFlag     = flag.Bool("all", false, "run every figure and table")
+	latFlag     = flag.Bool("latency", false, "run the observability-layer latency-percentile sweep")
 	killFlag    = flag.Bool("kill", false, "with -fig 12: run the kill test instead of the queue throughput")
 	threadsFlag = flag.String("threads", "1,2,4,8", "comma-separated thread counts to sweep")
 	durFlag     = flag.Duration("dur", 500*time.Millisecond, "measurement duration per data point")
@@ -145,6 +154,9 @@ func dispatch(threads []int) error {
 		if err := runBatchFig(); err != nil {
 			return err
 		}
+		if err := runLatencyObs(); err != nil {
+			return err
+		}
 		return runTable1()
 	}
 	if *tableFlag == 1 {
@@ -153,11 +165,14 @@ func dispatch(threads []int) error {
 	if *figFlag == "batch" {
 		return runBatchFig()
 	}
+	if *latFlag {
+		return runLatencyObs()
+	}
 	if fig, err := strconv.Atoi(*figFlag); err == nil && fig >= 2 && fig <= 13 {
 		return runFig(fig, threads)
 	}
 	flag.Usage()
-	return fmt.Errorf("pass -fig 2..13, -fig batch, -table 1 or -all")
+	return fmt.Errorf("pass -fig 2..13, -fig batch, -table 1, -latency or -all")
 }
 
 func parseThreads(s string) ([]int, error) {
@@ -578,6 +593,37 @@ func setSweep(title, kind string, keys int, engines []string, persistent bool, h
 	return nil
 }
 
+// runLatencyObs is the -latency mode: per-variant, per-path begin→commit
+// percentiles from the engines' own histograms (internal/bench.ObsLatency).
+func runLatencyObs() error {
+	cfg := bench.ObsLatencyConfig{
+		Threads: 4, PerThread: 5000, Reads: 5000,
+		Async: 2000, Windows: 50, WinSize: 32, Stores: 4,
+	}
+	if *quickFlag {
+		cfg = bench.ObsLatencyConfig{
+			Threads: 4, PerThread: 500, Reads: 500,
+			Async: 200, Windows: 10, WinSize: 16, Stores: 4,
+		}
+	}
+	figure("latency-obs", "percentile")
+	header("Latency: engine-side begin→commit percentiles (obs histograms), ns",
+		"p50 ns", "p99 ns", "p999 ns", "count")
+	if curFig != nil {
+		curFig.YUnit = "ns"
+	}
+	for _, eng := range []string{"OF-LF", "OF-WF", "OF-LF-PTM", "OF-WF-PTM"} {
+		paths, err := bench.ObsLatency(eng, cfg)
+		if err != nil {
+			return err
+		}
+		for _, p := range paths {
+			row(eng+"/"+p.Path, float64(p.P50), float64(p.P99), float64(p.P999), float64(p.Count))
+		}
+	}
+	return nil
+}
+
 func runTable1() error {
 	figure("table1", "nw")
 	var fig *bench.Figure
@@ -585,8 +631,8 @@ func runTable1() error {
 		fig = report.AddFigure("table1", "Table I: persistence instructions per update transaction", "nw")
 	}
 	fmt.Println("\n== Table I: persistence instructions per update transaction ==")
-	fmt.Printf("%-12s %4s  %18s %18s %18s\n", "engine", "Nw",
-		"pwb (got/paper)", "pfence (got/paper)", "CAS (got/paper)")
+	fmt.Printf("%-12s %4s  %18s %18s %8s %18s\n", "engine", "Nw",
+		"pwb (got/paper)", "pfence (got/paper)", "pdrain", "CAS (got/paper)")
 	iters := 300
 	if *quickFlag {
 		iters = 50
@@ -598,12 +644,16 @@ func runTable1() error {
 				return err
 			}
 			pw, pf, cas := bench.PaperOpCounts(eng, nw)
-			fmt.Printf("%-12s %4d  %8.2f / %-7.2f %8.2f / %-7.2f %8.2f / %-7.2f\n",
-				eng, nw, got.Pwb, pw, got.Pfence, pf, got.CAS, cas)
+			// pdrain has no paper column: the paper folds these ordering
+			// points into "the CAS acts as a fence". It is the whole
+			// ordering cost of the OneFile PTMs (their pfence column is 0).
+			fmt.Printf("%-12s %4d  %8.2f / %-7.2f %8.2f / %-7.2f %8.2f %8.2f / %-7.2f\n",
+				eng, nw, got.Pwb, pw, got.Pfence, pf, got.Pdrain, got.CAS, cas)
 			if fig != nil {
 				label := fmt.Sprintf("Nw=%d", nw)
 				fig.Add(eng+" pwb", label, got.Pwb)
 				fig.Add(eng+" pfence", label, got.Pfence)
+				fig.Add(eng+" pdrain", label, got.Pdrain)
 				fig.Add(eng+" cas", label, got.CAS)
 			}
 		}

@@ -8,15 +8,29 @@
 // middle of this demo.
 //
 //	go run ./examples/kvstore
+//
+// With -serve the demo becomes a long-running scrapeable service: a
+// metrics registry is attached to the engine, /metrics (Prometheus text),
+// /debug/vars (expvar JSON) and /debug/flightrecorder are served on the
+// given address, and a background workload keeps puts, gets and combined
+// batches flowing so every metric family moves:
+//
+//	go run ./examples/kvstore -serve :8080
+//	curl localhost:8080/metrics
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"net/http"
 
 	"onefile"
 	"onefile/containers"
 )
+
+var serveAddr = flag.String("serve", "",
+	"serve /metrics, /debug/vars and /debug/flightrecorder on this address while running a continuous workload")
 
 const valueBits = 24
 
@@ -97,7 +111,45 @@ func (s *store) TopK(k int) [][2]uint64 {
 	return out
 }
 
+// serve attaches a metrics registry to the engine, keeps a background
+// workload running (direct puts and gets plus combined counter batches, so
+// the direct, read and combined paths all record), and serves the
+// exposition endpoints until killed.
+func serve(kv *store, e onefile.Engine, addr string) {
+	reg := onefile.NewMetricsRegistry()
+	if onefile.RegisterMetrics(reg, e) == nil {
+		log.Fatal("engine does not support metrics registration")
+	}
+	go func() {
+		const keys = 2000
+		fns := make([]func(onefile.Tx) uint64, 16)
+		for i := range fns {
+			p := onefile.Root(3)
+			fns[i] = func(tx onefile.Tx) uint64 {
+				tx.Store(p, tx.Load(p)+1)
+				return 0
+			}
+		}
+		for i := uint64(1); ; i++ {
+			kv.Put(i%keys+1, i%1000)
+			kv.Get((i * 7) % keys)
+			if i%64 == 0 {
+				for _, r := range onefile.Batch(e, fns) {
+					if r.Err != nil {
+						log.Fatalf("combined batch: %v", r.Err)
+					}
+				}
+			}
+		}
+	}()
+	mux := http.NewServeMux()
+	reg.Mount(mux)
+	log.Printf("kvstore: serving /metrics, /debug/vars, /debug/flightrecorder on %s", addr)
+	log.Fatal(http.ListenAndServe(addr, mux))
+}
+
 func main() {
+	flag.Parse()
 	nvm, err := onefile.NewNVM(onefile.Relaxed, 7, onefile.WithHeapWords(1<<17))
 	if err != nil {
 		log.Fatal(err)
@@ -107,6 +159,11 @@ func main() {
 		log.Fatal(err)
 	}
 	kv := open(e)
+
+	if *serveAddr != "" {
+		serve(kv, e, *serveAddr)
+		return
+	}
 
 	for i := uint64(1); i <= 500; i++ {
 		kv.Put(i, i*i%1000)

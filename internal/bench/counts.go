@@ -13,6 +13,12 @@ type OpCounts struct {
 	Nw     int
 	Pwb    float64
 	Pfence float64
+	// Pdrain counts the ordering points taken as atomic RMWs instead of
+	// explicit pfences (the paper's "the CAS acts as a fence"). The OneFile
+	// PTMs order exclusively this way — their Pfence column is 0 — so
+	// dropping Pdrain (as this table did before) hides their entire
+	// ordering cost.
+	Pdrain float64
 	CAS    float64 // single- plus double-word CAS together, as in the table
 }
 
@@ -86,6 +92,7 @@ func MeasureOpCountsStride(engine string, nw, iters, stride int) (OpCounts, erro
 		Nw:     nw,
 		Pwb:    float64(d.Pwb) / k,
 		Pfence: float64(d.Pfence) / k,
+		Pdrain: float64(d.Pdrain) / k,
 		CAS:    float64(d.CAS+d.DCAS) / k,
 	}, nil
 }

@@ -10,7 +10,18 @@ import (
 
 // ReportSchema versions the JSON layout of Report. Bump it on any
 // incompatible change so downstream tooling can refuse unknown layouts.
-const ReportSchema = 1
+//
+// History:
+//
+//	1 — figures of (label, x, y) series.
+//	2 — adds Figure.YUnit and the latency-percentile figures emitted by
+//	    onefile-bench -latency (series named "<engine>/<path>", points
+//	    labelled p50/p99/p999). Purely additive: a v1 report is valid v2,
+//	    so ReadReport accepts 1..ReportSchema.
+const ReportSchema = 2
+
+// reportSchemaMin is the oldest layout ReadReport still understands.
+const reportSchemaMin = 1
 
 // Report is the machine-readable twin of cmd/onefile-bench's text tables:
 // every figure or table run becomes a Figure holding one Series per engine,
@@ -32,6 +43,7 @@ type Figure struct {
 	Name   string   `json:"name"`
 	Title  string   `json:"title"`
 	XLabel string   `json:"x_label,omitempty"` // meaning of X: "threads", "swaps_per_tx", ...
+	YUnit  string   `json:"y_unit,omitempty"`  // unit of every Y in the figure ("ns", "ops/s"); schema ≥ 2
 	Series []Series `json:"series"`
 }
 
@@ -141,8 +153,8 @@ func ReadReport(path string) (*Report, error) {
 	if err := json.Unmarshal(b, &r); err != nil {
 		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
 	}
-	if r.Schema != ReportSchema {
-		return nil, fmt.Errorf("bench: %s has schema %d, tool understands %d", path, r.Schema, ReportSchema)
+	if r.Schema < reportSchemaMin || r.Schema > ReportSchema {
+		return nil, fmt.Errorf("bench: %s has schema %d, tool understands %d..%d", path, r.Schema, reportSchemaMin, ReportSchema)
 	}
 	return &r, nil
 }

@@ -48,6 +48,42 @@ func TestReportRoundTrip(t *testing.T) {
 	}
 }
 
+// TestReportOldSchemaAccepted pins the backward-compatibility contract:
+// reports written by older tools (schema 1, before Figure.YUnit and the
+// latency figures were added in schema 2) must keep parsing, since the
+// additions are purely additive.
+func TestReportOldSchemaAccepted(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "old.json")
+	old := `{
+		"schema": 1,
+		"tool": "onefile-bench",
+		"figures": [
+			{
+				"name": "fig2",
+				"title": "Fig. 2",
+				"x_label": "swaps_per_tx",
+				"series": [
+					{"name": "OF-LF", "points": [{"label": "r=1", "x": 1, "y": 3463893}]}
+				]
+			}
+		]
+	}`
+	if err := os.WriteFile(path, []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadReport(path)
+	if err != nil {
+		t.Fatalf("schema 1 report rejected: %v", err)
+	}
+	if r.Schema != 1 || len(r.Figures) != 1 {
+		t.Fatalf("schema 1 report mangled: %+v", r)
+	}
+	if r.Figures[0].YUnit != "" {
+		t.Fatalf("YUnit should default empty on old reports, got %q", r.Figures[0].YUnit)
+	}
+}
+
 func TestReportSchemaRejected(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "bad.json")

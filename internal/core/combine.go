@@ -5,7 +5,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"onefile/internal/obs"
 	"onefile/internal/tm"
 )
 
@@ -64,6 +66,9 @@ type combReq struct {
 	res   uint64
 	err   error
 	fut   tm.Future
+	// start is the submission timestamp (UnixNano), set only when an
+	// observability sink is attached; 0 means "do not time this op".
+	start int64
 }
 
 // batchGroup aggregates the completion of one BatchUpdate window. left
@@ -210,15 +215,26 @@ func (e *Engine) AsyncUpdate(fn func(tm.Tx) uint64) *tm.Future {
 		fut.Resolve(0, tm.ErrEngineClosed)
 		return fut
 	}
+	o := e.obsv.Load()
 	if !e.waitFree && e.comb.head.Load() == nil && e.comb.active.CompareAndSwap(0, 1) {
 		// Lock-free solo fast path: no queue node, no batch record —
 		// only the returned future is allocated.
+		var start time.Time
+		if o != nil {
+			start = time.Now()
+		}
 		fut := e.execSoloLF(fn)
 		e.comb.active.Store(0)
+		if o != nil {
+			o.SoloLat.RecordSince(start)
+		}
 		e.drainLoop()
 		return fut
 	}
 	r := &combReq{fn: fn}
+	if o != nil {
+		r.start = time.Now().UnixNano()
+	}
 	if e.comb.head.Load() == nil && e.comb.active.CompareAndSwap(0, 1) {
 		e.comb.scratch = append(e.comb.scratch[:0], r)
 		e.execBatch(e.comb.scratch)
@@ -296,10 +312,14 @@ func (e *Engine) BatchUpdate(fns []func(tm.Tx) uint64) []tm.BatchResult {
 	call.group.left.Store(int32(len(fns)))
 	call.group.fut.Reset()
 	reqs := call.reqs
+	var submitNs int64
+	if e.obsv.Load() != nil {
+		submitNs = time.Now().UnixNano()
+	}
 	// Link the batch into one chain (last submission on top, matching the
 	// LIFO queue's order) and publish it with a single CAS.
 	for i := range reqs {
-		reqs[i] = combReq{fn: fns[i], group: &call.group}
+		reqs[i] = combReq{fn: fns[i], group: &call.group, start: submitNs}
 		if i > 0 {
 			reqs[i].next = &reqs[i-1]
 		}
@@ -388,6 +408,12 @@ func (e *Engine) gather() []*combReq {
 		}
 	}
 	e.comb.scratch = buf
+	if len(buf) > 0 {
+		if o := e.obsv.Load(); o != nil {
+			o.DrainSpan.Record(uint64(len(buf)))
+			o.Rec.Record(obs.EvBatchDrain, -1, uint64(len(buf)))
+		}
+	}
 	return buf
 }
 
@@ -436,6 +462,21 @@ func (e *Engine) execBatch(batch []*combReq) {
 	c := &e.comb
 	c.batches.Store(c.batches.Load() + 1)
 	c.batchedOps.Store(c.batchedOps.Load() + uint64(len(batch)))
+	if o := e.obsv.Load(); o != nil {
+		o.BatchSize.Record(uint64(len(batch)))
+		// Submit→resolve latency, timestamped here just before resolution
+		// (one clock read per batch, not per op).
+		now := time.Now().UnixNano()
+		for _, q := range batch {
+			if q.start != 0 {
+				d := now - q.start
+				if d < 0 {
+					d = 0 // wall-clock step; count the op, lose the latency
+				}
+				o.BatchLat.Record(uint64(d))
+			}
+		}
+	}
 	var retries []*combReq
 	// Group members arrive as contiguous runs (a submitter pushes its next
 	// window only after the previous one resolved), so their countdown is

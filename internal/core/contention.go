@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"onefile/internal/he"
+	"onefile/internal/obs"
 	"onefile/internal/tm"
 )
 
@@ -183,7 +184,9 @@ func (e *Engine) park(start int) *slot {
 		panic(tm.ErrEngineClosed)
 	}
 	c.parks.Add(1)
+	e.obsEvent(obs.EvPark, -1, uint64(c.waiters.Load()))
 	<-ch
+	e.obsEvent(obs.EvUnpark, -1, uint64(c.waiters.Load()))
 	if e.closed.Load() {
 		panic(tm.ErrEngineClosed)
 	}
@@ -338,6 +341,7 @@ func (e *Engine) tune() {
 	min := e.eras.MinProtected()
 	if min != he.None && cur > min && cur-min >= yieldStaleSeqs {
 		c.yieldEvery.Store(clampU32(c.yieldEvery.Load()/8, yieldEveryMin, yieldEveryMax))
+		e.obsEvent(obs.EvEraStall, -1, cur-min)
 	} else {
 		adjustBudget(&c.yieldEvery, true, yieldEveryMin, yieldEveryMax)
 	}

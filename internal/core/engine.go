@@ -194,6 +194,11 @@ type Engine struct {
 	// BatchUpdate submissions merged into single engine transactions.
 	comb combiner
 
+	// obsv is the attached observability sink (obs.go), nil when nothing
+	// is observing. The unobserved hot path pays exactly one load of this
+	// pointer per transaction.
+	obsv atomic.Pointer[EngineObs]
+
 	// The two globally contended words, each padded onto its own line.
 	_         [64]byte
 	curTx     atomic.Uint64

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"onefile/internal/dcas"
+	"onefile/internal/obs"
 	"onefile/internal/pmem"
 	"onefile/internal/talloc"
 	"onefile/internal/tm"
@@ -100,10 +102,29 @@ func runBody(fn func(tm.Tx) uint64, tx tm.Tx) (res uint64, ok bool) {
 func (e *Engine) Update(fn func(tx tm.Tx) uint64) uint64 {
 	s := e.acquire()
 	defer e.release(s)
+	if o := e.obsv.Load(); o != nil {
+		return e.updateObserved(o, s, fn)
+	}
 	if e.waitFree {
 		return e.updateWF(s, fn)
 	}
 	return e.updateLF(s, fn)
+}
+
+// updateObserved is the Update body with an observability sink attached:
+// it times begin→commit and records a commit event. Kept out of line so
+// the unobserved path above stays one load and one branch.
+func (e *Engine) updateObserved(o *EngineObs, s *slot, fn func(tx tm.Tx) uint64) uint64 {
+	start := time.Now()
+	var res uint64
+	if e.waitFree {
+		res = e.updateWF(s, fn)
+	} else {
+		res = e.updateLF(s, fn)
+	}
+	o.UpdateLat.RecordSince(start)
+	o.Rec.Record(obs.EvCommit, s.id, seqOf(e.curTx.Load()))
+	return res
 }
 
 // updateLF is the lock-free update path: the ten steps of §III-B. Each
@@ -121,6 +142,7 @@ func (e *Engine) updateLF(s *slot, fn func(tx tm.Tx) uint64) uint64 {
 		res, ok := e.transform(s, fn, seqOf(oldTx)) // step 3
 		if !ok {
 			s.st.aborts.Add(1)
+			e.obsEvent(obs.EvAbort, s.id, seqOf(oldTx))
 			e.contendedPause(round)
 			continue
 		}
@@ -131,6 +153,7 @@ func (e *Engine) updateLF(s *slot, fn func(tx tm.Tx) uint64) uint64 {
 		newTx := makeTx(seqOf(oldTx)+1, s.id)
 		if !e.commitAndApply(s, oldTx, newTx) {
 			s.st.aborts.Add(1)
+			e.obsEvent(obs.EvAbort, s.id, seqOf(oldTx))
 			e.contendedPause(round)
 			continue
 		}
@@ -322,6 +345,7 @@ func (e *Engine) helpApply(txid uint64, helper *slot) {
 		return // the write-set was re-used; the transaction is done
 	}
 	helper.st.helps.Add(1)
+	e.obsEvent(obs.EvHelp, helper.id, seqOf(txid))
 	if e.dev != nil {
 		// A helper persists curTx before applying, so a word flushed at
 		// sequence s is never durable before curTx reaches s (§III-D).
@@ -353,6 +377,18 @@ func (e *Engine) helpApply(txid uint64, helper *slot) {
 func (e *Engine) Read(fn func(tx tm.Tx) uint64) uint64 {
 	s := e.acquire()
 	defer e.release(s)
+	if o := e.obsv.Load(); o != nil {
+		start := time.Now()
+		res := e.readLoop(s, fn)
+		o.ReadLat.RecordSince(start)
+		return res
+	}
+	return e.readLoop(s, fn)
+}
+
+// readLoop is the retry loop shared by the observed and unobserved Read
+// entry points.
+func (e *Engine) readLoop(s *slot, fn func(tx tm.Tx) uint64) uint64 {
 	for tries := 0; ; tries++ {
 		oldTx := e.curTx.Load()
 		e.eras.Protect(s.id, seqOf(oldTx))
@@ -365,6 +401,7 @@ func (e *Engine) Read(fn func(tx tm.Tx) uint64) uint64 {
 			return res
 		}
 		s.st.readAborts.Add(1)
+		e.obsEvent(obs.EvReadAbort, s.id, seqOf(oldTx))
 		if e.waitFree && tries+1 >= e.cfg.ReadTries {
 			return e.publishAndRun(s, fn)
 		}

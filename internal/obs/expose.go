@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Exposition layer: stdlib-only HTTP handlers rendering the registry as
+// Prometheus text format (/metrics) and expvar-style JSON (/debug/vars),
+// plus a flight-recorder dump endpoint (/debug/flightrecorder). Sampling
+// reads every counter atomically but takes no locks beyond the registry's
+// registration mutex (held only to copy the directory), so scraping never
+// stalls the engines.
+
+// promName sanitises a metric name for the Prometheus exposition format
+// ([a-zA-Z0-9_:]; everything else becomes '_').
+func promName(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// writeProm renders the registry in Prometheus text exposition format.
+func (r *Registry) writeProm(w *strings.Builder) {
+	for _, m := range r.snapshotMetrics() {
+		name := promName(m.name)
+		if m.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", name, strings.ReplaceAll(m.help, "\n", " "))
+		}
+		switch m.kind {
+		case KindHistogram:
+			s := m.hist.Snapshot()
+			fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+			var cum uint64
+			for i := range s.Buckets {
+				if s.Buckets[i] == 0 {
+					continue
+				}
+				cum += s.Buckets[i]
+				_, hi := bucketBounds(i)
+				fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, hi, cum)
+			}
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+			fmt.Fprintf(w, "%s_sum %d\n", name, s.Sum)
+			fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+		case KindGauge:
+			fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+			fmt.Fprintf(w, "%s %g\n", name, m.value())
+		default:
+			fmt.Fprintf(w, "# TYPE %s counter\n", name)
+			fmt.Fprintf(w, "%s %g\n", name, m.value())
+		}
+	}
+}
+
+// histJSON is the JSON shape of a histogram in the expvar view: the
+// summary statistics a dashboard needs, not the raw buckets.
+type histJSON struct {
+	Count uint64  `json:"count"`
+	Sum   uint64  `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   uint64  `json:"min"`
+	Max   uint64  `json:"max"`
+	P50   uint64  `json:"p50"`
+	P90   uint64  `json:"p90"`
+	P99   uint64  `json:"p99"`
+	P999  uint64  `json:"p999"`
+	Unit  string  `json:"unit,omitempty"`
+}
+
+func summarize(s *HistSnapshot) histJSON {
+	return histJSON{
+		Count: s.Count,
+		Sum:   s.Sum,
+		Mean:  s.Mean(),
+		Min:   s.Min(),
+		Max:   s.Max(),
+		P50:   s.Percentile(50),
+		P90:   s.Percentile(90),
+		P99:   s.Percentile(99),
+		P999:  s.Percentile(99.9),
+		Unit:  s.Unit,
+	}
+}
+
+// expvarJSON renders the registry as one JSON object keyed by metric name
+// (the /debug/vars convention).
+func (r *Registry) expvarJSON() ([]byte, error) {
+	out := make(map[string]any)
+	for _, m := range r.snapshotMetrics() {
+		if m.kind == KindHistogram {
+			s := m.hist.Snapshot()
+			out[m.name] = summarize(&s)
+			continue
+		}
+		out[m.name] = m.value()
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// MetricsHandler serves the Prometheus text exposition format.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var b strings.Builder
+		r.writeProm(&b)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(b.String()))
+	})
+}
+
+// VarsHandler serves the expvar-style JSON view.
+func (r *Registry) VarsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		b, err := r.expvarJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_, _ = w.Write(b)
+		_, _ = w.Write([]byte("\n"))
+	})
+}
+
+// eventJSON is the JSON shape of one flight-recorder event.
+type eventJSON struct {
+	Seq  uint64 `json:"seq"`
+	Kind string `json:"kind"`
+	Slot int    `json:"slot"`
+	Arg  uint64 `json:"arg"`
+	Time int64  `json:"time_unix_ns"`
+}
+
+// RecorderHandler serves every registered flight recorder's dump as one
+// JSON object: recorder name → event list (oldest first).
+func (r *Registry) RecorderHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		names, recs := r.snapshotRecorders()
+		out := make(map[string][]eventJSON, len(names))
+		for i, name := range names {
+			evs := recs[i].Dump()
+			js := make([]eventJSON, len(evs))
+			for j, ev := range evs {
+				js[j] = eventJSON{
+					Seq: ev.Seq, Kind: ev.Kind.String(), Slot: ev.Slot,
+					Arg: ev.Arg, Time: ev.Time,
+				}
+			}
+			out[name] = js
+		}
+		b, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_, _ = w.Write(b)
+		_, _ = w.Write([]byte("\n"))
+	})
+}
+
+// Mount registers the three exposition endpoints on mux: /metrics
+// (Prometheus text), /debug/vars (expvar JSON) and /debug/flightrecorder
+// (event dumps).
+func (r *Registry) Mount(mux *http.ServeMux) {
+	mux.Handle("/metrics", r.MetricsHandler())
+	mux.Handle("/debug/vars", r.VarsHandler())
+	mux.Handle("/debug/flightrecorder", r.RecorderHandler())
+}

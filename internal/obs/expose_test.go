@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func testRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("onefile_commits_total", "committed update transactions", 4)
+	c.Add(0, 5)
+	c.Add(3, 7)
+	g := r.Gauge("onefile_parked", "goroutines parked on slot admission")
+	g.Set(2)
+	r.CounterFunc("onefile_pwb_total", "persistent write-backs", func() float64 { return 42 })
+	h := r.Histogram("onefile_update_latency_ns", "begin-to-commit latency", "ns")
+	for _, v := range []uint64{100, 200, 400, 100000} {
+		h.Record(v)
+	}
+	rec := NewRecorder(16)
+	rec.Record(EvCommit, 1, 99)
+	rec.Record(EvPark, 2, 1)
+	r.AddRecorder("OF-LF", rec)
+	return r
+}
+
+// TestPromExposition asserts the key metric families render in valid
+// Prometheus text format with correct values.
+func TestPromExposition(t *testing.T) {
+	r := testRegistry()
+	srv := httptest.NewServer(r.MetricsHandler())
+	defer srv.Close()
+	body := get(t, srv.URL)
+	for _, want := range []string{
+		"# TYPE onefile_commits_total counter",
+		"onefile_commits_total 12",
+		"# TYPE onefile_parked gauge",
+		"onefile_parked 2",
+		"onefile_pwb_total 42",
+		"# TYPE onefile_update_latency_ns histogram",
+		"onefile_update_latency_ns_count 4",
+		"onefile_update_latency_ns_sum 100700",
+		`onefile_update_latency_ns_bucket{le="+Inf"} 4`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n---\n%s", want, body)
+		}
+	}
+	// Cumulative buckets must be non-decreasing in emission order.
+	var last int64 = -1
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, "onefile_update_latency_ns_bucket") {
+			continue
+		}
+		var v int64
+		if _, err := fmtSscan(line, &v); err != nil {
+			t.Fatalf("unparsable bucket line %q: %v", line, err)
+		}
+		if v < last {
+			t.Fatalf("cumulative bucket decreased: %q after %d", line, last)
+		}
+		last = v
+	}
+}
+
+// fmtSscan parses the trailing integer of an exposition line.
+func fmtSscan(line string, v *int64) (int, error) {
+	i := strings.LastIndexByte(line, ' ')
+	n, err := json.Number(line[i+1:]).Int64()
+	*v = n
+	return 1, err
+}
+
+// TestVarsExposition asserts the expvar JSON view parses and carries the
+// histogram summary.
+func TestVarsExposition(t *testing.T) {
+	r := testRegistry()
+	srv := httptest.NewServer(r.VarsHandler())
+	defer srv.Close()
+	var out map[string]any
+	if err := json.Unmarshal([]byte(get(t, srv.URL)), &out); err != nil {
+		t.Fatalf("vars not JSON: %v", err)
+	}
+	if out["onefile_commits_total"].(float64) != 12 {
+		t.Fatalf("commits = %v, want 12", out["onefile_commits_total"])
+	}
+	h := out["onefile_update_latency_ns"].(map[string]any)
+	if h["count"].(float64) != 4 || h["p50"].(float64) < 200 {
+		t.Fatalf("histogram summary wrong: %v", h)
+	}
+}
+
+// TestRecorderExposition asserts the flight-recorder dump endpoint.
+func TestRecorderExposition(t *testing.T) {
+	r := testRegistry()
+	srv := httptest.NewServer(r.RecorderHandler())
+	defer srv.Close()
+	var out map[string][]map[string]any
+	if err := json.Unmarshal([]byte(get(t, srv.URL)), &out); err != nil {
+		t.Fatalf("dump not JSON: %v", err)
+	}
+	evs := out["OF-LF"]
+	if len(evs) != 2 || evs[0]["kind"] != "commit" || evs[1]["kind"] != "park" {
+		t.Fatalf("dump wrong: %v", evs)
+	}
+}
+
+// TestMount wires all three endpoints on one mux.
+func TestMount(t *testing.T) {
+	r := testRegistry()
+	mux := http.NewServeMux()
+	r.Mount(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/debug/vars", "/debug/flightrecorder"} {
+		if body := get(t, srv.URL+path); body == "" {
+			t.Errorf("%s returned empty body", path)
+		}
+	}
+}
+
+// TestNilRegistry verifies registration helpers are inert on a nil
+// registry and hand back nil (inert) handles.
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "", 1)
+	g := r.Gauge("x", "")
+	h := r.Histogram("x", "", "ns")
+	r.CounterFunc("x", "", nil)
+	r.GaugeFunc("x", "", nil)
+	r.AddRecorder("x", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must return nil handles")
+	}
+	c.Inc(0)
+	g.Set(1)
+	h.Record(1)
+	if r.FindHistogram("x") != nil {
+		t.Fatal("nil registry lookup must be nil")
+	}
+}
+
+// TestDuplicatePanics pins the expvar-style duplicate-registration panic.
+func TestDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration must panic")
+		}
+	}()
+	r.Counter("dup", "", 1)
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return b.String()
+}

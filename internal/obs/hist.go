@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Log-bucketed mergeable latency histogram (HDR-style). Values are
+// non-negative integers (nanoseconds for the latency instances); each is
+// binned into a fixed bucket array with histSub sub-buckets per power of
+// two, so the relative quantisation error is bounded by 1/histSub (6.25%)
+// while the whole range of uint64 fits in histBuckets counters.
+//
+// Record is one atomic add on the value's bucket plus one on the running
+// sum — lock-free, wait-free, allocation-free, safe from any number of
+// goroutines. Snapshot copies the counters out (a per-counter-atomic view,
+// not a mutually consistent cut — see the method comment); snapshots merge
+// by addition, so per-shard or per-engine histograms aggregate exactly.
+
+const (
+	// histSubBits is the number of sub-bucket bits per octave: 16
+	// sub-buckets, 6.25% worst-case relative error.
+	histSubBits = 4
+	histSub     = 1 << histSubBits
+	// histBuckets covers all of uint64: values below histSub are exact
+	// (one bucket each), every octave above contributes histSub buckets.
+	histBuckets = (64-histSubBits)*histSub + histSub
+)
+
+// bucketIndex maps a value to its bucket. Values < histSub are exact;
+// larger values are keyed by their top histSubBits+1 bits.
+func bucketIndex(v uint64) int {
+	if v < histSub {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // >= histSubBits
+	shift := exp - histSubBits
+	sub := int(v>>uint(shift)) - histSub // in [0, histSub)
+	return shift*histSub + histSub + sub
+}
+
+// bucketBounds returns the inclusive value range [lo, hi] of bucket idx.
+func bucketBounds(idx int) (lo, hi uint64) {
+	if idx < histSub {
+		return uint64(idx), uint64(idx)
+	}
+	shift := uint(idx/histSub - 1)
+	sub := uint64(idx % histSub)
+	lo = (histSub + sub) << shift
+	hi = lo + (uint64(1) << shift) - 1
+	return lo, hi
+}
+
+// Histogram is a lock-free log-bucketed histogram handle. All recording
+// methods are safe on a nil receiver (no-ops), which is the no-sink fast
+// path: code holds a possibly-nil *Histogram and records unconditionally.
+type Histogram struct {
+	name string
+	unit string
+
+	count atomic.Uint64
+	sum   atomic.Uint64
+
+	buckets [histBuckets]atomic.Uint64
+}
+
+// NewHistogram creates a free-standing histogram (outside any registry).
+// unit names the recorded value's unit for exposition ("ns", "ops").
+func NewHistogram(name, unit string) *Histogram {
+	return &Histogram{name: name, unit: unit}
+}
+
+// Name returns the histogram's registered name ("" on nil).
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Record adds one observation of v. Nil-safe.
+func (h *Histogram) Record(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// RecordSince records the elapsed nanoseconds since start. Nil-safe.
+func (h *Histogram) RecordSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Record(uint64(time.Since(start)))
+}
+
+// Count returns the number of recorded observations. Nil-safe.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Snapshot copies the histogram's state out for querying and merging.
+//
+// Consistency: each counter is read atomically, but the set of counters is
+// not a single consistent cut — a Record racing the snapshot may have its
+// bucket included and its count not, or vice versa. Snap therefore
+// recomputes Count as the bucket total, so Count always equals the number
+// of fully recorded observations visible in Buckets; Sum may trail or lead
+// by in-flight observations. Once recording has quiesced, Snapshot is
+// exact.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{Name: h.Name()}
+	if h == nil {
+		return s
+	}
+	s.Unit = h.unit
+	var total uint64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		s.Buckets[i] = c
+		total += c
+	}
+	s.Count = total
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram, mergeable and
+// queryable without synchronisation.
+type HistSnapshot struct {
+	Name    string
+	Unit    string
+	Count   uint64
+	Sum     uint64
+	Buckets [histBuckets]uint64
+}
+
+// Merge adds o's observations into s (exact: bucket-wise addition).
+func (s *HistSnapshot) Merge(o *HistSnapshot) {
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+}
+
+// Percentile returns an upper bound for the p-th percentile (0 ≤ p ≤ 100)
+// of the recorded values: the upper bound of the bucket containing the
+// ⌈p/100·Count⌉-th smallest observation. Returns 0 on an empty snapshot.
+// The bound is within one sub-bucket (6.25%) of the true order statistic.
+func (s *HistSnapshot) Percentile(p float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(p / 100 * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var seen uint64
+	for i := range s.Buckets {
+		seen += s.Buckets[i]
+		if seen >= rank {
+			_, hi := bucketBounds(i)
+			return hi
+		}
+	}
+	_, hi := bucketBounds(histBuckets - 1)
+	return hi
+}
+
+// Mean returns the mean recorded value (0 on empty).
+func (s *HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Max returns an upper bound of the largest recorded value (0 on empty).
+func (s *HistSnapshot) Max() uint64 {
+	for i := histBuckets - 1; i >= 0; i-- {
+		if s.Buckets[i] != 0 {
+			_, hi := bucketBounds(i)
+			return hi
+		}
+	}
+	return 0
+}
+
+// Min returns a lower bound of the smallest recorded value (0 on empty).
+func (s *HistSnapshot) Min() uint64 {
+	for i := range s.Buckets {
+		if s.Buckets[i] != 0 {
+			lo, _ := bucketBounds(i)
+			return lo
+		}
+	}
+	return 0
+}

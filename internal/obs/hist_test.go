@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestBucketRoundTrip pins the bucketing invariants every other guarantee
+// rests on: indices are monotonic in the value, bounds are tight and
+// consistent, and every value falls inside its own bucket's range.
+func TestBucketRoundTrip(t *testing.T) {
+	var prevHi uint64
+	for idx := 0; idx < histBuckets; idx++ {
+		lo, hi := bucketBounds(idx)
+		if lo > hi {
+			t.Fatalf("bucket %d: lo %d > hi %d", idx, lo, hi)
+		}
+		if bucketIndex(lo) != idx || bucketIndex(hi) != idx {
+			t.Fatalf("bucket %d [%d,%d]: round trip gives %d/%d",
+				idx, lo, hi, bucketIndex(lo), bucketIndex(hi))
+		}
+		// Buckets tile the value space with no gaps or overlaps.
+		if idx > 0 && lo != prevHi+1 {
+			t.Fatalf("bucket %d: lower bound %d does not follow previous upper %d", idx, lo, prevHi)
+		}
+		prevHi = hi
+	}
+	if prevHi != ^uint64(0) {
+		t.Fatalf("last bucket ends at %d, want full uint64 range", prevHi)
+	}
+	// Boundary values and the full 64-bit range.
+	for _, v := range []uint64{0, 1, histSub - 1, histSub, histSub + 1, 1 << 32, ^uint64(0)} {
+		idx := bucketIndex(v)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("value %d: bucket %d out of range", v, idx)
+		}
+		lo, hi := bucketBounds(idx)
+		if v < lo || v > hi {
+			t.Fatalf("value %d not inside its bucket %d [%d,%d]", v, idx, lo, hi)
+		}
+	}
+}
+
+// TestHistSmallValuesExact verifies values below histSub are binned
+// exactly (one value per bucket), so sub-16ns latencies are not smeared.
+func TestHistSmallValuesExact(t *testing.T) {
+	h := NewHistogram("t", "ns")
+	for v := uint64(0); v < histSub; v++ {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	for v := uint64(0); v < histSub; v++ {
+		if got := s.Percentile(float64(v+1) / histSub * 100); got != v {
+			t.Fatalf("P%.1f = %d, want %d", float64(v+1)/histSub*100, got, v)
+		}
+	}
+}
+
+// TestHistPercentileError verifies the quantisation error bound: a
+// percentile is an upper bound within one sub-bucket (6.25%) of the true
+// order statistic.
+func TestHistPercentileError(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := NewHistogram("t", "ns")
+	vals := make([]uint64, 10000)
+	for i := range vals {
+		vals[i] = uint64(rng.Int63n(1 << 30))
+		h.Record(vals[i])
+	}
+	s := h.Snapshot()
+	if s.Count != uint64(len(vals)) {
+		t.Fatalf("count %d, want %d", s.Count, len(vals))
+	}
+	sorted := append([]uint64(nil), vals...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j-1] > sorted[j]; j-- {
+			sorted[j-1], sorted[j] = sorted[j], sorted[j-1]
+		}
+	}
+	for _, p := range []float64{50, 90, 99, 99.9, 100} {
+		rank := int(p / 100 * float64(len(sorted)))
+		if rank < 1 {
+			rank = 1
+		}
+		truth := sorted[rank-1]
+		got := s.Percentile(p)
+		if got < truth {
+			t.Errorf("P%v = %d below true order statistic %d", p, got, truth)
+		}
+		if float64(got) > float64(truth)*(1+1.0/histSub)+1 {
+			t.Errorf("P%v = %d exceeds true %d by more than a sub-bucket", p, got, truth)
+		}
+	}
+}
+
+// TestHistMerge verifies merge is exact bucket-wise addition.
+func TestHistMerge(t *testing.T) {
+	a, b, all := NewHistogram("a", "ns"), NewHistogram("b", "ns"), NewHistogram("all", "ns")
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		v := uint64(rng.Int63n(1 << 40))
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		all.Record(v)
+	}
+	sa, sb, sall := a.Snapshot(), b.Snapshot(), all.Snapshot()
+	sa.Merge(&sb)
+	if sa.Count != sall.Count || sa.Sum != sall.Sum {
+		t.Fatalf("merged count/sum %d/%d, want %d/%d", sa.Count, sa.Sum, sall.Count, sall.Sum)
+	}
+	if sa.Buckets != sall.Buckets {
+		t.Fatal("merged buckets differ from combined recording")
+	}
+	for _, p := range []float64{50, 99, 99.9} {
+		if sa.Percentile(p) != sall.Percentile(p) {
+			t.Fatalf("P%v differs after merge", p)
+		}
+	}
+}
+
+// TestHistNilSafe verifies the no-sink fast path: every method is a no-op
+// on a nil histogram.
+func TestHistNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Record(42)
+	if h.Count() != 0 || h.Name() != "" {
+		t.Fatal("nil histogram not inert")
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || s.Percentile(99) != 0 {
+		t.Fatal("nil snapshot not empty")
+	}
+}
+
+// TestHistConcurrentNoLoss is the sample-loss test: concurrent recording
+// into ONE histogram from many goroutines must lose nothing — the final
+// count equals the operations issued and the per-value totals match.
+// Run with -race.
+func TestHistConcurrentNoLoss(t *testing.T) {
+	const (
+		workers = 8
+		perG    = 20000
+	)
+	h := NewHistogram("t", "ns")
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perG; i++ {
+				h.Record(uint64(rng.Int63n(1 << 20)))
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*perG {
+		t.Fatalf("lost samples: count %d, want %d", s.Count, workers*perG)
+	}
+	var tot uint64
+	for i := range s.Buckets {
+		tot += s.Buckets[i]
+	}
+	if tot != workers*perG {
+		t.Fatalf("bucket total %d, want %d", tot, workers*perG)
+	}
+}
+
+// FuzzHistogram drives the record/merge/percentile invariants with
+// arbitrary value streams and split points.
+func FuzzHistogram(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 255, 128}, uint8(2))
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7, 200}, uint8(4))
+	f.Fuzz(func(t *testing.T, raw []byte, split uint8) {
+		// Decode raw into values: each byte b becomes the value b<<b
+		// (spreads across octaves, including 0 and huge values).
+		vals := make([]uint64, len(raw))
+		for i, b := range raw {
+			vals[i] = uint64(b) << (b % 56)
+		}
+		cut := 0
+		if len(vals) > 0 {
+			cut = int(split) % (len(vals) + 1)
+		}
+		a, b := NewHistogram("a", ""), NewHistogram("b", "")
+		for _, v := range vals[:cut] {
+			a.Record(v)
+		}
+		for _, v := range vals[cut:] {
+			b.Record(v)
+		}
+		sa, sb := a.Snapshot(), b.Snapshot()
+		if sa.Count != uint64(cut) || sb.Count != uint64(len(vals)-cut) {
+			t.Fatalf("counts %d/%d, want %d/%d", sa.Count, sb.Count, cut, len(vals)-cut)
+		}
+		sa.Merge(&sb)
+		if sa.Count != uint64(len(vals)) {
+			t.Fatalf("merged count %d, want %d", sa.Count, len(vals))
+		}
+		var sum uint64
+		var maxV, minV uint64
+		minV = ^uint64(0)
+		for _, v := range vals {
+			sum += v
+			if v > maxV {
+				maxV = v
+			}
+			if v < minV {
+				minV = v
+			}
+		}
+		if sa.Sum != sum {
+			t.Fatalf("merged sum %d, want %d", sa.Sum, sum)
+		}
+		if len(vals) == 0 {
+			if sa.Percentile(50) != 0 || sa.Max() != 0 {
+				t.Fatal("empty snapshot not zero")
+			}
+			return
+		}
+		// Percentiles are monotonic in p and bounded by Min/Max bounds.
+		prev := uint64(0)
+		for _, p := range []float64{0, 1, 25, 50, 75, 90, 99, 99.9, 100} {
+			v := sa.Percentile(p)
+			if v < prev {
+				t.Fatalf("percentile not monotonic: P%v=%d < %d", p, v, prev)
+			}
+			prev = v
+		}
+		if sa.Max() < maxV {
+			t.Fatalf("Max bound %d below recorded %d", sa.Max(), maxV)
+		}
+		if sa.Min() > minV {
+			t.Fatalf("Min bound %d above recorded %d", sa.Min(), minV)
+		}
+		if p100 := sa.Percentile(100); p100 != sa.Max() {
+			t.Fatalf("P100 %d != Max %d", p100, sa.Max())
+		}
+	})
+}

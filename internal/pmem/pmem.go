@@ -183,11 +183,27 @@ func minInt(a, b int) int {
 func (d *Device) Mode() Mode { return d.cfg.Mode }
 
 // Stats returns a snapshot of the persistence counters.
+//
+// Snapshot semantics: each counter is read with its own atomic load, so
+// the result is per-counter consistent but NOT a mutually consistent cut —
+// under concurrent flushes the Pwb value may include an event whose
+// matching Pfence/Pdrain is not yet counted (and vice versa). Each counter
+// individually is monotonic and exact: once flushing quiesces, Stats
+// returns the precise event totals. Callers deriving cross-counter ratios
+// (pwb/op, fences/op) must therefore quiesce first or tolerate a skew of
+// at most the number of in-flight flushers — which is how the bench
+// harness uses it (counters are sampled after the measured section joins
+// its workers).
 func (d *Device) Stats() Stats {
 	return Stats{Pwb: d.pwb.Load(), Pfence: d.pfence.Load(), Pdrain: d.pdrain.Load()}
 }
 
-// ResetStats zeroes the persistence counters.
+// ResetStats zeroes the persistence counters. The three stores are not
+// atomic as a group: a flush racing with ResetStats may land between them
+// and survive in one counter but not another, so deltas straddling a
+// concurrent reset are meaningless. Call it only while no transaction is
+// in flight (between bench phases); for concurrent-safe deltas, snapshot
+// with Stats twice and use Stats.Sub instead.
 func (d *Device) ResetStats() {
 	d.pwb.Store(0)
 	d.pfence.Store(0)

@@ -37,6 +37,7 @@ import (
 	"io"
 
 	"onefile/internal/core"
+	"onefile/internal/obs"
 	"onefile/internal/pmem"
 	"onefile/internal/tm"
 )
@@ -152,9 +153,54 @@ func (n *NVM) OpenWaitFree(attach bool) (Engine, error) {
 func (n *NVM) Crash() { n.dev.Crash() }
 
 // PersistStats returns the cumulative pwb and pfence counts of the device.
+// Pdrain ordering points (atomic-RMW-as-fence, the OneFile PTMs' only
+// ordering mechanism) are not included here; use PersistStats3.
 func (n *NVM) PersistStats() (pwb, pfence uint64) {
 	s := n.dev.Stats()
 	return s.Pwb, s.Pfence
+}
+
+// PersistStats3 returns the cumulative pwb, pfence and pdrain counts of
+// the device. Pdrain counts ordering points taken as atomic RMWs instead
+// of explicit fences — on the OneFile PTMs every ordering point is a
+// drain, so a fence/op metric built from pfence alone reads 0 for them.
+// Each counter is read with its own atomic load (a per-counter snapshot,
+// not a mutually consistent cut); quiesce before deriving ratios.
+func (n *NVM) PersistStats3() (pwb, pfence, pdrain uint64) {
+	s := n.dev.Stats()
+	return s.Pwb, s.Pfence, s.Pdrain
+}
+
+// Observability (DESIGN.md §11). A MetricsRegistry unifies the engines'
+// counters, latency histograms and flight recorders behind one scrape
+// surface; RegisterMetrics attaches an engine to a registry. An engine
+// with no registry attached pays one atomic pointer load per transaction
+// for the hook — the hot paths stay allocation-free and wait-free.
+type (
+	// MetricsRegistry is a named directory of counters, gauges, latency
+	// histograms and flight recorders, exposable over HTTP as Prometheus
+	// text (/metrics) and expvar-style JSON (/debug/vars) via Mount.
+	MetricsRegistry = obs.Registry
+	// EngineMetrics bundles one engine's latency histograms and flight
+	// recorder, as attached by RegisterMetrics.
+	EngineMetrics = core.EngineObs
+)
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// RegisterMetrics registers every observable of e — all Stats counters,
+// contention gauges, per-path latency histograms and a flight recorder —
+// in reg under a prefix derived from the engine's name, attaches the sink
+// to the engine and returns it. e must be a OneFile engine (any of the
+// four variants); other tm.Engine implementations return nil. A nil
+// registry detaches nothing and returns nil (the zero-overhead default).
+func RegisterMetrics(reg *MetricsRegistry, e Engine) *EngineMetrics {
+	ce, ok := e.(*core.Engine)
+	if !ok {
+		return nil
+	}
+	return ce.RegisterMetrics(reg, core.MetricsPrefix(ce.Name()))
 }
 
 // SaveSnapshot writes the device's durable image to w — exactly the state

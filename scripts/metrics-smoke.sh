@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Metrics-exposition smoke test: boots the kvstore example as a scrapeable
+# service, lets its scripted workload run, scrapes /metrics, /debug/vars
+# and /debug/flightrecorder, and asserts the key metric families are
+# present and non-zero. Run from the repository root; CI's metrics-smoke
+# job runs exactly this script.
+set -euo pipefail
+
+addr="${1:-127.0.0.1:18090}"
+
+go build -o /tmp/kvstore-smoke ./examples/kvstore
+/tmp/kvstore-smoke -serve "$addr" &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true' EXIT
+
+# Wait for the endpoint, then let the background workload accumulate.
+for _ in $(seq 1 50); do
+  if curl -fs "http://$addr/metrics" >/dev/null 2>&1; then break; fi
+  sleep 0.2
+done
+sleep 2
+
+metrics=$(curl -fs "http://$addr/metrics")
+vars=$(curl -fs "http://$addr/debug/vars")
+rec=$(curl -fs "http://$addr/debug/flightrecorder")
+
+fail() { echo "metrics-smoke: $1" >&2; exit 1; }
+
+require_nonzero() {
+  local fam="$1" line val
+  line=$(grep -E "^${fam} " <<<"$metrics" | head -1)
+  [ -n "$line" ] || fail "missing metric family ${fam}"
+  val=${line##* }
+  awk -v v="$val" 'BEGIN { exit (v+0 > 0 ? 0 : 1) }' \
+    || fail "metric family ${fam} is zero after workload: ${line}"
+}
+
+# The kvstore service runs the persistent lock-free engine: direct updates
+# (puts), read transactions (gets), combined batches, and the device's
+# persistence counters must all be moving.
+for fam in \
+  onefile_of_lf_ptm_commits_total \
+  onefile_of_lf_ptm_read_commits_total \
+  onefile_of_lf_ptm_batches_total \
+  onefile_of_lf_ptm_batched_ops_total \
+  onefile_of_lf_ptm_pwb_total \
+  onefile_of_lf_ptm_pdrain_total \
+  onefile_of_lf_ptm_update_latency_ns_count \
+  onefile_of_lf_ptm_read_latency_ns_count \
+  onefile_of_lf_ptm_batch_op_latency_ns_count \
+  onefile_of_lf_ptm_batch_size_ops_count; do
+  require_nonzero "$fam"
+done
+
+grep -q '# TYPE onefile_of_lf_ptm_update_latency_ns histogram' <<<"$metrics" \
+  || fail "/metrics missing histogram TYPE line"
+grep -q '"onefile_of_lf_ptm_update_latency_ns"' <<<"$vars" \
+  || fail "/debug/vars missing latency histogram summary"
+grep -q '"p99"' <<<"$vars" \
+  || fail "/debug/vars histogram summary has no percentiles"
+grep -q '"kind": "commit"' <<<"$rec" \
+  || fail "/debug/flightrecorder has no commit events"
+
+echo "metrics-smoke: OK ($(grep -c '^# TYPE' <<<"$metrics") metric families)"
