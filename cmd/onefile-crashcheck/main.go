@@ -20,10 +20,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"onefile/internal/crashcheck"
+	"onefile/internal/pmem"
+	"onefile/internal/pmem/filedev"
 )
 
 var (
@@ -35,7 +38,21 @@ var (
 	relaxedFlag = flag.String("relaxed-seeds", "1,2,3,4,5,6,7,8", "comma-separated RelaxedMode device seeds (empty = skip RelaxedMode)")
 	listFlag    = flag.Bool("list", false, "list persistent engine names and exit")
 	quietFlag   = flag.Bool("quiet", false, "suppress per-sweep progress lines")
+	deviceFlag  = flag.String("device", "sim", "device backend: sim (in-memory simulator) or file (mmap-backed file)")
+	fileDirFlag = flag.String("file-dir", "", "scratch directory for -device file (default: /dev/shm if present, else TMPDIR)")
 )
+
+// fileFactory builds each sweep point's device as a freshly formatted mmap
+// file under dir. Points run sequentially, so two alternating paths suffice.
+func fileFactory(dir string) crashcheck.DeviceFactory {
+	n := 0
+	return func(cfg pmem.Config) (pmem.Device, error) {
+		n++
+		path := filepath.Join(dir, fmt.Sprintf("sweep-%d.img", n%2))
+		os.Remove(path)
+		return filedev.Create(path, cfg)
+	}
+}
 
 func main() {
 	flag.Parse()
@@ -72,13 +89,37 @@ func main() {
 			fmt.Printf(format+"\n", args...)
 		}
 	}
+	cleanup := func() {}
+	switch *deviceFlag {
+	case "sim":
+	case "file":
+		base := *fileDirFlag
+		if base == "" {
+			if st, err := os.Stat("/dev/shm"); err == nil && st.IsDir() {
+				base = "/dev/shm"
+			} else {
+				base = os.TempDir()
+			}
+		}
+		dir, err := os.MkdirTemp(base, "onefile-crashcheck-*")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "onefile-crashcheck: %v\n", err)
+			os.Exit(2)
+		}
+		cleanup = func() { os.RemoveAll(dir) }
+		cfg.Device = fileFactory(dir)
+	default:
+		fmt.Fprintf(os.Stderr, "onefile-crashcheck: unknown -device %q (want sim or file)\n", *deviceFlag)
+		os.Exit(2)
+	}
 
 	res, err := crashcheck.Run(cfg)
+	cleanup()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "onefile-crashcheck: %v\n", err)
 		os.Exit(2)
 	}
-	fmt.Printf("\n%d crash points exercised, %d violations\n", res.Points, len(res.Violations))
+	fmt.Printf("\n%d crash points exercised (device=%s), %d violations\n", res.Points, *deviceFlag, len(res.Violations))
 	for _, v := range res.Violations {
 		fmt.Printf("VIOLATION %s\n", v)
 	}

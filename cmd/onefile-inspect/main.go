@@ -1,14 +1,19 @@
-// Command onefile-inspect examines a OneFile NVM snapshot file (written
-// with onefile.NVM.SaveSnapshot): it re-attaches a read-only engine, runs
-// null recovery, and reports the heap's health — durable transaction
-// sequence, root slots, allocator accounting and audit.
+// Command onefile-inspect examines a OneFile persistent image — either an
+// NVM snapshot file (written with onefile.NVM.SaveSnapshot) or, with -file,
+// an mmap-backed device file (internal/pmem/filedev) straight off a crash:
+// it re-attaches a read-only engine, runs null recovery, and reports the
+// heap's health — durable transaction sequence, root slots, allocator
+// accounting and audit.
 //
 // Usage:
 //
 //	onefile-inspect [-heap N] [-max-threads N] [-max-stores N] snapshot.bin
+//	onefile-inspect -file [-engine NAME] device.img
 //
 // The sizing flags must match the options the heap was created with
-// (defaults match onefile's defaults).
+// (defaults match onefile's defaults). -file never mutates the image: the
+// device file is read, not opened, so inspecting the sole surviving copy of
+// a crash image is safe.
 package main
 
 import (
@@ -17,17 +22,20 @@ import (
 	"io"
 	"os"
 
-	"onefile/internal/core"
+	"onefile/internal/crashcheck"
 	"onefile/internal/pmem"
+	"onefile/internal/pmem/filedev"
 	"onefile/internal/talloc"
 	"onefile/internal/tm"
 )
 
 var (
-	heapFlag    = flag.Int("heap", 1<<22, "heap size in words the snapshot was created with")
-	threadsFlag = flag.Int("max-threads", 128, "MaxThreads the snapshot was created with")
-	storesFlag  = flag.Int("max-stores", 1<<14, "MaxStores the snapshot was created with")
+	heapFlag    = flag.Int("heap", 1<<22, "heap size in words the image was created with")
+	threadsFlag = flag.Int("max-threads", 128, "MaxThreads the image was created with")
+	storesFlag  = flag.Int("max-stores", 1<<14, "MaxStores the image was created with")
 	rootsFlag   = flag.Bool("roots", true, "print non-zero root slots")
+	fileFlag    = flag.Bool("file", false, "the argument is an mmap-backed device file, not a snapshot")
+	engineFlag  = flag.String("engine", "OF-LF-PTM", "persistent engine the image belongs to (see onefile-crashcheck -list)")
 )
 
 func main() {
@@ -43,44 +51,93 @@ func main() {
 }
 
 func run(path string) error {
-	return inspect(path, os.Stdout, *heapFlag, *threadsFlag, *storesFlag, *rootsFlag)
+	return inspect(path, os.Stdout, options{
+		heapWords:  *heapFlag,
+		maxThreads: *threadsFlag,
+		maxStores:  *storesFlag,
+		showRoots:  *rootsFlag,
+		deviceFile: *fileFlag,
+		engine:     *engineFlag,
+	})
 }
 
-// inspect re-attaches a read-only engine to the snapshot at path, runs null
+type options struct {
+	heapWords, maxThreads, maxStores int
+	showRoots                        bool
+	deviceFile                       bool
+	engine                           string
+}
+
+// inspect re-attaches a read-only engine to the image at path, runs null
 // recovery, and writes the report to out.
-func inspect(path string, out io.Writer, heapWords, maxThreads, maxStores int, showRoots bool) error {
+func inspect(path string, out io.Writer, o options) error {
+	def, err := crashcheck.EngineByName(o.engine)
+	if err != nil {
+		return err
+	}
 	opts := []tm.Option{
-		tm.WithHeapWords(heapWords),
-		tm.WithMaxThreads(maxThreads),
-		tm.WithMaxStores(maxStores),
+		tm.WithHeapWords(o.heapWords),
+		tm.WithMaxThreads(o.maxThreads),
+		tm.WithMaxStores(o.maxStores),
 	}
-	dev, err := pmem.New(core.DeviceConfig(pmem.StrictMode, 0, opts...))
+	cfg := def.DeviceConfig(pmem.StrictMode, 0, opts...)
+	dev, err := pmem.New(cfg)
 	if err != nil {
 		return err
-	}
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if _, err := dev.ReadFrom(f); err != nil {
-		return fmt.Errorf("load snapshot (check the sizing flags): %w", err)
-	}
-	e, err := core.NewPersistentLF(dev, true, opts...)
-	if err != nil {
-		return fmt.Errorf("attach: %w", err)
 	}
 
-	fmt.Fprintf(out, "snapshot:      %s\n", path)
-	fmt.Fprintf(out, "heap:          %d words (%d KiB of TM data)\n", heapWords, heapWords*8/1024)
-	fmt.Fprintf(out, "thread slots:  %d, write-set capacity %d stores\n", maxThreads, maxStores)
+	if o.deviceFile {
+		// Read, don't Open: Open would mark the superblock dirty and Close
+		// would mark it clean — both destroy post-mortem evidence.
+		info, raw, pairs, err := filedev.ReadImage(path)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "device file:   %s\n", path)
+		fmt.Fprintf(out, "layout:        version %d, %d raw words, %d TM words\n",
+			info.LayoutVersion, info.RawWords, info.PairWords)
+		if info.Clean {
+			fmt.Fprintln(out, "shutdown:      clean (device was Closed in order)")
+		} else {
+			fmt.Fprintln(out, "shutdown:      DIRTY — crash image (holder died before Close)")
+		}
+		if len(raw) != cfg.RawWords || len(pairs) != 2*cfg.PairWords {
+			return fmt.Errorf("device holds %d/%d words but engine %s with these sizing flags needs %d/%d (check -engine/-heap/-max-threads/-max-stores)",
+				len(raw), len(pairs)/2, def.Name, cfg.RawWords, cfg.PairWords)
+		}
+		if err := loadWords(dev, raw, pairs); err != nil {
+			return fmt.Errorf("load device image: %w", err)
+		}
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if _, err := dev.ReadFrom(f); err != nil {
+			return fmt.Errorf("load snapshot (check the sizing flags): %w", err)
+		}
+		fmt.Fprintf(out, "snapshot:      %s\n", path)
+	}
+
+	e, err := def.New(dev, true, opts...)
+	if err != nil {
+		return fmt.Errorf("attach %s: %w", def.Name, err)
+	}
+
+	fmt.Fprintf(out, "engine:        %s\n", def.Name)
+	fmt.Fprintf(out, "heap:          %d words (%d KiB of TM data)\n", o.heapWords, o.heapWords*8/1024)
+	fmt.Fprintf(out, "thread slots:  %d, write-set capacity %d stores\n", o.maxThreads, o.maxStores)
 
 	var alloc, free uint64
-	var auditOK bool
-	var liveRoots int
+	auditOK, canAudit := false, false
+	liveRoots := 0
 	e.Read(func(tx tm.Tx) uint64 {
-		alloc, free, auditOK = talloc.Audit(tx, e.DynBase())
-		if showRoots {
+		if db, ok := e.(interface{ DynBase() tm.Ptr }); ok {
+			canAudit = true
+			alloc, free, auditOK = talloc.Audit(tx, db.DynBase())
+		}
+		if o.showRoots {
 			fmt.Fprintln(out, "roots:")
 			for i := 0; i < tm.NumRoots; i++ {
 				if v := tx.Load(tm.Root(i)); v != 0 {
@@ -92,12 +149,29 @@ func inspect(path string, out io.Writer, heapWords, maxThreads, maxStores int, s
 		return 0
 	})
 	fmt.Fprintf(out, "live roots:    %d of %d\n", liveRoots, tm.NumRoots)
-	fmt.Fprintf(out, "allocator:     %d words allocated, %d words on free lists\n", alloc, free)
-	if !auditOK {
-		return fmt.Errorf("allocator audit FAILED: heap does not tile into valid blocks")
+	if canAudit {
+		fmt.Fprintf(out, "allocator:     %d words allocated, %d words on free lists\n", alloc, free)
+		if !auditOK {
+			return fmt.Errorf("allocator audit FAILED: heap does not tile into valid blocks")
+		}
+		fmt.Fprintln(out, "audit:         OK (heap tiles exactly; no leaks, no corruption)")
+	} else {
+		fmt.Fprintln(out, "audit:         skipped (engine does not expose its allocator)")
 	}
-	fmt.Fprintln(out, "audit:         OK (heap tiles exactly; no leaks, no corruption)")
 	s := e.Stats()
 	fmt.Fprintf(out, "recovery:      null recovery complete (helps=%d)\n", s.Helps)
 	return nil
+}
+
+// loadWords injects a device file's raw/pair images into the inspection
+// device via the portable snapshot format.
+func loadWords(dev pmem.Device, raw, pairs []uint64) error {
+	pr, pw := io.Pipe()
+	go func() {
+		_, err := pmem.EncodeImage(pw, raw, pairs)
+		pw.CloseWithError(err)
+	}()
+	_, err := dev.ReadFrom(pr)
+	pr.Close()
+	return err
 }

@@ -10,6 +10,7 @@ import (
 
 	"onefile/internal/core"
 	"onefile/internal/pmem"
+	"onefile/internal/pmem/filedev"
 	"onefile/internal/tm"
 )
 
@@ -24,6 +25,17 @@ func testOpts() []tm.Option {
 		tm.WithHeapWords(testHeap),
 		tm.WithMaxThreads(testThreads),
 		tm.WithMaxStores(testStores),
+	}
+}
+
+func testOptions(deviceFile bool) options {
+	return options{
+		heapWords:  testHeap,
+		maxThreads: testThreads,
+		maxStores:  testStores,
+		showRoots:  true,
+		deviceFile: deviceFile,
+		engine:     "OF-LF-PTM",
 	}
 }
 
@@ -105,7 +117,7 @@ func TestInspectSnapshot(t *testing.T) {
 	}
 
 	var out bytes.Buffer
-	if err := inspect(path, &out, testHeap, testThreads, testStores, true); err != nil {
+	if err := inspect(path, &out, testOptions(false)); err != nil {
 		t.Fatalf("inspect: %v\n%s", err, out.String())
 	}
 	report := out.String()
@@ -132,7 +144,73 @@ func TestInspectSnapshot(t *testing.T) {
 // TestInspectBadPath checks the error paths: missing file and size mismatch.
 func TestInspectBadPath(t *testing.T) {
 	var out bytes.Buffer
-	if err := inspect(filepath.Join(t.TempDir(), "nope.bin"), &out, testHeap, testThreads, testStores, false); err == nil {
+	if err := inspect(filepath.Join(t.TempDir(), "nope.bin"), &out, testOptions(false)); err == nil {
 		t.Fatal("inspect of a missing file succeeded")
+	}
+}
+
+// TestInspectDeviceFile points -file at an mmap-backed device that was never
+// Closed — the post-mortem case the flag exists for. The report must call
+// the image dirty, show the committed roots, and leave the file untouched.
+func TestInspectDeviceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev.img")
+	dev, err := filedev.Create(path, core.DeviceConfig(pmem.StrictMode, 1, testOpts()...))
+	if err != nil {
+		t.Skipf("file device unavailable: %v", err)
+	}
+	e, err := core.NewPersistentLF(dev, false, testOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Update(func(tx tm.Tx) uint64 {
+		tx.Store(tm.Root(3), 4242)
+		return 0
+	})
+	// No Close: the superblock stays dirty, exactly like a killed process.
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := inspect(path, &out, testOptions(true)); err != nil {
+		t.Fatalf("inspect -file: %v\n%s", err, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{
+		"shutdown:      DIRTY",
+		"slot  3 = 4242",
+		"audit:         OK",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Error("inspect -file mutated the device image")
+	}
+
+	// A cleanly Closed device reports a clean shutdown.
+	if err := dev.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := inspect(path, &out, testOptions(true)); err != nil {
+		t.Fatalf("inspect -file after Close: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "shutdown:      clean") {
+		t.Errorf("report missing clean shutdown:\n%s", out.String())
+	}
+
+	// Wrong sizing flags must fail with a geometry message, not garbage.
+	o := testOptions(true)
+	o.heapWords = testHeap * 2
+	out.Reset()
+	if err := inspect(path, &out, o); err == nil || !strings.Contains(err.Error(), "sizing flags") {
+		t.Errorf("mismatched sizing flags: err=%v", err)
 	}
 }

@@ -9,6 +9,15 @@
 //
 //	go run ./examples/kvstore
 //
+// With -file the store lives in a real mmap-backed device file instead of
+// the in-process emulation: state persists across runs (kill the process at
+// any point — the next run recovers the image), and the file can be
+// dissected offline with onefile-inspect -file:
+//
+//	go run ./examples/kvstore -file /tmp/kv.img
+//	go run ./examples/kvstore -file /tmp/kv.img    # recovers the first run's data
+//	go run ./cmd/onefile-inspect -file -heap 131072 /tmp/kv.img
+//
 // With -serve the demo becomes a long-running scrapeable service: a
 // metrics registry is attached to the engine, /metrics (Prometheus text),
 // /debug/vars (expvar JSON) and /debug/flightrecorder are served on the
@@ -29,8 +38,12 @@ import (
 	"onefile/containers"
 )
 
-var serveAddr = flag.String("serve", "",
-	"serve /metrics, /debug/vars and /debug/flightrecorder on this address while running a continuous workload")
+var (
+	serveAddr = flag.String("serve", "",
+		"serve /metrics, /debug/vars and /debug/flightrecorder on this address while running a continuous workload")
+	filePath = flag.String("file", "",
+		"back the store with an mmap device file at this path: state persists across runs, and killing the process mid-run leaves a crash image the next run recovers")
+)
 
 const valueBits = 24
 
@@ -150,11 +163,32 @@ func serve(kv *store, e onefile.Engine, addr string) {
 
 func main() {
 	flag.Parse()
-	nvm, err := onefile.NewNVM(onefile.Relaxed, 7, onefile.WithHeapWords(1<<17))
-	if err != nil {
-		log.Fatal(err)
+	var (
+		nvm     *onefile.NVM
+		existed bool
+		err     error
+	)
+	if *filePath != "" {
+		// Real durability: the heap lives in the file, Strict mode write-
+		// backs reach the mapping immediately, and a previous run's image
+		// (clean OR crashed) is recovered by attaching.
+		nvm, existed, err = onefile.NewFileNVM(*filePath, onefile.Strict, 7, onefile.WithHeapWords(1<<17))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer nvm.Close()
+		if existed {
+			fmt.Printf("recovering store from %s\n", *filePath)
+		} else {
+			fmt.Printf("created store at %s\n", *filePath)
+		}
+	} else {
+		nvm, err = onefile.NewNVM(onefile.Relaxed, 7, onefile.WithHeapWords(1<<17))
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
-	e, err := nvm.OpenLockFree(false)
+	e, err := nvm.OpenLockFree(existed)
 	if err != nil {
 		log.Fatal(err)
 	}

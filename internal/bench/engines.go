@@ -45,33 +45,33 @@ func NewVolatile(name string, opts ...tm.Option) (tm.Engine, error) {
 // functions (the bool argument of the constructor selects attach/recover).
 func persistentFns(name string) (
 	cfgFn func(pmem.Mode, int64, ...tm.Option) pmem.Config,
-	mkFn func(*pmem.Device, bool, ...tm.Option) (tm.Engine, error),
+	mkFn func(pmem.Device, bool, ...tm.Option) (tm.Engine, error),
 	err error,
 ) {
 	switch name {
 	case "OF-LF-PTM":
 		cfgFn = core.DeviceConfig
-		mkFn = func(d *pmem.Device, a bool, o ...tm.Option) (tm.Engine, error) {
+		mkFn = func(d pmem.Device, a bool, o ...tm.Option) (tm.Engine, error) {
 			return core.NewPersistentLF(d, a, o...)
 		}
 	case "OF-WF-PTM":
 		cfgFn = core.DeviceConfig
-		mkFn = func(d *pmem.Device, a bool, o ...tm.Option) (tm.Engine, error) {
+		mkFn = func(d pmem.Device, a bool, o ...tm.Option) (tm.Engine, error) {
 			return core.NewPersistentWF(d, a, o...)
 		}
 	case "PMDK":
 		cfgFn = undolog.DeviceConfig
-		mkFn = func(d *pmem.Device, a bool, o ...tm.Option) (tm.Engine, error) {
+		mkFn = func(d pmem.Device, a bool, o ...tm.Option) (tm.Engine, error) {
 			return undolog.New(d, a, o...)
 		}
 	case "RomulusLog":
 		cfgFn = romulus.DeviceConfig
-		mkFn = func(d *pmem.Device, a bool, o ...tm.Option) (tm.Engine, error) {
+		mkFn = func(d pmem.Device, a bool, o ...tm.Option) (tm.Engine, error) {
 			return romulus.NewLog(d, a, o...)
 		}
 	case "RomulusLR":
 		cfgFn = romulus.DeviceConfig
-		mkFn = func(d *pmem.Device, a bool, o ...tm.Option) (tm.Engine, error) {
+		mkFn = func(d pmem.Device, a bool, o ...tm.Option) (tm.Engine, error) {
 			return romulus.NewLR(d, a, o...)
 		}
 	default:
@@ -81,7 +81,7 @@ func persistentFns(name string) (
 }
 
 // NewPersistent builds a persistent engine by name on a fresh device.
-func NewPersistent(name string, mode pmem.Mode, seed int64, opts ...tm.Option) (tm.Engine, *pmem.Device, error) {
+func NewPersistent(name string, mode pmem.Mode, seed int64, opts ...tm.Option) (tm.Engine, pmem.Device, error) {
 	cfgFn, mkFn, err := persistentFns(name)
 	if err != nil {
 		return nil, nil, err
@@ -99,7 +99,7 @@ func NewPersistent(name string, mode pmem.Mode, seed int64, opts ...tm.Option) (
 
 // RecoverPersistent re-attaches an engine by name to an existing device, as
 // a restarted process would after a crash.
-func RecoverPersistent(name string, dev *pmem.Device, opts ...tm.Option) (tm.Engine, error) {
+func RecoverPersistent(name string, dev pmem.Device, opts ...tm.Option) (tm.Engine, error) {
 	_, mkFn, err := persistentFns(name)
 	if err != nil {
 		return nil, err

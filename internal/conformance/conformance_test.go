@@ -28,7 +28,7 @@ var opts = []tm.Option{
 // function (persistent engines only) returning the recovered engine.
 type fixture struct {
 	e     tm.Engine
-	dev   *pmem.Device // nil for volatile engines
+	dev   pmem.Device // nil for volatile engines
 	crash func(t *testing.T) tm.Engine
 }
 
@@ -40,7 +40,7 @@ func volatileMaker(create func() tm.Engine) maker {
 
 func persistentMaker(
 	devCfg func(mode pmem.Mode, seed int64, o ...tm.Option) pmem.Config,
-	create func(dev *pmem.Device, attach bool, o ...tm.Option) (tm.Engine, error),
+	create func(dev pmem.Device, attach bool, o ...tm.Option) (tm.Engine, error),
 ) maker {
 	return func(t *testing.T) fixture {
 		dev, err := pmem.New(devCfg(pmem.RelaxedMode, 12345, opts...))
@@ -73,23 +73,23 @@ func makers() map[string]maker {
 		"TinySTM": volatileMaker(func() tm.Engine { return tl2.New(opts...) }),
 		"ESTM":    volatileMaker(func() tm.Engine { return tl2.NewElastic(opts...) }),
 		"OF-LF-PTM": persistentMaker(core.DeviceConfig,
-			func(d *pmem.Device, a bool, o ...tm.Option) (tm.Engine, error) {
+			func(d pmem.Device, a bool, o ...tm.Option) (tm.Engine, error) {
 				return core.NewPersistentLF(d, a, o...)
 			}),
 		"OF-WF-PTM": persistentMaker(core.DeviceConfig,
-			func(d *pmem.Device, a bool, o ...tm.Option) (tm.Engine, error) {
+			func(d pmem.Device, a bool, o ...tm.Option) (tm.Engine, error) {
 				return core.NewPersistentWF(d, a, o...)
 			}),
 		"PMDK": persistentMaker(undolog.DeviceConfig,
-			func(d *pmem.Device, a bool, o ...tm.Option) (tm.Engine, error) {
+			func(d pmem.Device, a bool, o ...tm.Option) (tm.Engine, error) {
 				return undolog.New(d, a, o...)
 			}),
 		"RomulusLog": persistentMaker(romulus.DeviceConfig,
-			func(d *pmem.Device, a bool, o ...tm.Option) (tm.Engine, error) {
+			func(d pmem.Device, a bool, o ...tm.Option) (tm.Engine, error) {
 				return romulus.NewLog(d, a, o...)
 			}),
 		"RomulusLR": persistentMaker(romulus.DeviceConfig,
-			func(d *pmem.Device, a bool, o ...tm.Option) (tm.Engine, error) {
+			func(d pmem.Device, a bool, o ...tm.Option) (tm.Engine, error) {
 				return romulus.NewLR(d, a, o...)
 			}),
 	}

@@ -171,7 +171,7 @@ type opDesc struct {
 type Engine struct {
 	cfg      tm.Config
 	waitFree bool
-	dev      *pmem.Device // nil for the volatile variants
+	dev      pmem.Device // nil for the volatile variants
 
 	words []dcas.Word // the transactional heap: one TM word per tm.Ptr
 
@@ -263,16 +263,16 @@ func NewWF(opts ...tm.Option) *Engine {
 // NewPersistentLF creates (attach=false) or re-attaches to (attach=true)
 // the lock-free OneFile PTM on dev. The options must match the ones the
 // device was sized with (see DeviceConfig).
-func NewPersistentLF(dev *pmem.Device, attach bool, opts ...tm.Option) (*Engine, error) {
+func NewPersistentLF(dev pmem.Device, attach bool, opts ...tm.Option) (*Engine, error) {
 	return newEngine(tm.Apply(opts), false, dev, attach)
 }
 
 // NewPersistentWF creates or re-attaches to the wait-free OneFile PTM.
-func NewPersistentWF(dev *pmem.Device, attach bool, opts ...tm.Option) (*Engine, error) {
+func NewPersistentWF(dev pmem.Device, attach bool, opts ...tm.Option) (*Engine, error) {
 	return newEngine(tm.Apply(opts), true, dev, attach)
 }
 
-func newEngine(cfg tm.Config, waitFree bool, dev *pmem.Device, attach bool) (*Engine, error) {
+func newEngine(cfg tm.Config, waitFree bool, dev pmem.Device, attach bool) (*Engine, error) {
 	e := &Engine{
 		cfg:      cfg,
 		waitFree: waitFree,

@@ -11,7 +11,7 @@ import (
 	"onefile/internal/tm"
 )
 
-func newPTM(t *testing.T, waitFree bool, mode pmem.Mode, seed int64) (*Engine, *pmem.Device) {
+func newPTM(t *testing.T, waitFree bool, mode pmem.Mode, seed int64) (*Engine, pmem.Device) {
 	t.Helper()
 	dev, err := pmem.New(DeviceConfig(mode, seed, smallOpts()...))
 	if err != nil {
@@ -24,7 +24,7 @@ func newPTM(t *testing.T, waitFree bool, mode pmem.Mode, seed int64) (*Engine, *
 	return e, dev
 }
 
-func newPTMOn(dev *pmem.Device, waitFree, attach bool) (*Engine, error) {
+func newPTMOn(dev pmem.Device, waitFree, attach bool) (*Engine, error) {
 	if waitFree {
 		return NewPersistentWF(dev, attach, smallOpts()...)
 	}
@@ -75,7 +75,7 @@ var errCrashPoint = errors.New("injected crash")
 
 // runUntilCrash runs fn with the device configured to die at the k-th
 // persistence event; it reports whether fn completed (no crash reached).
-func runUntilCrash(dev *pmem.Device, k int, fn func()) (completed bool) {
+func runUntilCrash(dev pmem.Device, k int, fn func()) (completed bool) {
 	n := 0
 	dev.SetHook(func(pmem.Event) {
 		n++

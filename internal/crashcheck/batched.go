@@ -69,10 +69,17 @@ func (p *Program) inflightAt(acked, batch int) int {
 // and the combiner drains deterministically, so the count is a pure
 // function of (engine, program, batch).
 func EnumerateBatched(def EngineDef, mode pmem.Mode, p *Program, batch int) (int, error) {
-	dev, err := pmem.New(def.DeviceConfig(mode, 1, engineOpts()...))
+	return EnumerateBatchedOn(nil, def, mode, p, batch)
+}
+
+// EnumerateBatchedOn is EnumerateBatched with an explicit device factory
+// (nil = simulator).
+func EnumerateBatchedOn(fac DeviceFactory, def EngineDef, mode pmem.Mode, p *Program, batch int) (int, error) {
+	dev, err := fac.newDevice(def.DeviceConfig(mode, 1, engineOpts()...))
 	if err != nil {
 		return 0, err
 	}
+	defer dev.Close()
 	e, err := def.New(dev, false, engineOpts()...)
 	if err != nil {
 		return 0, err
@@ -95,10 +102,17 @@ func EnumerateBatched(def EngineDef, mode pmem.Mode, p *Program, batch int) (int
 // all-or-nothing window widened to the whole in-flight chunk and
 // intermediate prefixes reported as torn batches.
 func RunPointBatched(def EngineDef, mode pmem.Mode, devSeed int64, p *Program, batch, event int) (completed bool, err error) {
-	dev, err := pmem.New(def.DeviceConfig(mode, devSeed, engineOpts()...))
+	return RunPointBatchedOn(nil, def, mode, devSeed, p, batch, event)
+}
+
+// RunPointBatchedOn is RunPointBatched with an explicit device factory
+// (nil = simulator).
+func RunPointBatchedOn(fac DeviceFactory, def EngineDef, mode pmem.Mode, devSeed int64, p *Program, batch, event int) (completed bool, err error) {
+	dev, err := fac.newDevice(def.DeviceConfig(mode, devSeed, engineOpts()...))
 	if err != nil {
 		return false, err
 	}
+	defer dev.Close()
 	e, err := def.New(dev, false, engineOpts()...)
 	if err != nil {
 		return false, err

@@ -17,7 +17,7 @@ import (
 type EngineDef struct {
 	Name         string
 	DeviceConfig func(mode pmem.Mode, seed int64, opts ...tm.Option) pmem.Config
-	New          func(dev *pmem.Device, attach bool, opts ...tm.Option) (tm.Engine, error)
+	New          func(dev pmem.Device, attach bool, opts ...tm.Option) (tm.Engine, error)
 }
 
 // Engines returns every persistent engine in the repository, in a fixed
@@ -25,19 +25,19 @@ type EngineDef struct {
 // Romulus variants.
 func Engines() []EngineDef {
 	return []EngineDef{
-		{"OF-LF-PTM", core.DeviceConfig, func(d *pmem.Device, a bool, o ...tm.Option) (tm.Engine, error) {
+		{"OF-LF-PTM", core.DeviceConfig, func(d pmem.Device, a bool, o ...tm.Option) (tm.Engine, error) {
 			return core.NewPersistentLF(d, a, o...)
 		}},
-		{"OF-WF-PTM", core.DeviceConfig, func(d *pmem.Device, a bool, o ...tm.Option) (tm.Engine, error) {
+		{"OF-WF-PTM", core.DeviceConfig, func(d pmem.Device, a bool, o ...tm.Option) (tm.Engine, error) {
 			return core.NewPersistentWF(d, a, o...)
 		}},
-		{"PMDK", undolog.DeviceConfig, func(d *pmem.Device, a bool, o ...tm.Option) (tm.Engine, error) {
+		{"PMDK", undolog.DeviceConfig, func(d pmem.Device, a bool, o ...tm.Option) (tm.Engine, error) {
 			return undolog.New(d, a, o...)
 		}},
-		{"RomulusLog", romulus.DeviceConfig, func(d *pmem.Device, a bool, o ...tm.Option) (tm.Engine, error) {
+		{"RomulusLog", romulus.DeviceConfig, func(d pmem.Device, a bool, o ...tm.Option) (tm.Engine, error) {
 			return romulus.NewLog(d, a, o...)
 		}},
-		{"RomulusLR", romulus.DeviceConfig, func(d *pmem.Device, a bool, o ...tm.Option) (tm.Engine, error) {
+		{"RomulusLR", romulus.DeviceConfig, func(d pmem.Device, a bool, o ...tm.Option) (tm.Engine, error) {
 			return romulus.NewLR(d, a, o...)
 		}},
 	}
@@ -71,6 +71,18 @@ func engineOpts() []tm.Option {
 // a deferred handler while the crash panic unwinds).
 type crashSignal struct{ event int }
 
+// DeviceFactory builds a fresh device for one sweep point. nil means the
+// in-memory simulator (pmem.New). A file-backed factory must return a
+// distinct file per call: every point formats from scratch.
+type DeviceFactory func(cfg pmem.Config) (pmem.Device, error)
+
+func (f DeviceFactory) newDevice(cfg pmem.Config) (pmem.Device, error) {
+	if f == nil {
+		return pmem.New(cfg)
+	}
+	return f(cfg)
+}
+
 // Config parameterises a matrix run.
 type Config struct {
 	// Engines to sweep; nil = all persistent engines.
@@ -93,6 +105,8 @@ type Config struct {
 	// RelaxedSeeds are device seeds for the RelaxedMode sweeps; empty
 	// disables RelaxedMode.
 	RelaxedSeeds []int64
+	// Device builds the device for each sweep point; nil = simulator.
+	Device DeviceFactory
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -125,10 +139,16 @@ type Result struct {
 // space). The count is a pure function of (engine, program): the workload is
 // single-threaded and every engine schedules deterministically.
 func Enumerate(def EngineDef, mode pmem.Mode, p *Program) (int, error) {
-	dev, err := pmem.New(def.DeviceConfig(mode, 1, engineOpts()...))
+	return EnumerateOn(nil, def, mode, p)
+}
+
+// EnumerateOn is Enumerate with an explicit device factory (nil = simulator).
+func EnumerateOn(fac DeviceFactory, def EngineDef, mode pmem.Mode, p *Program) (int, error) {
+	dev, err := fac.newDevice(def.DeviceConfig(mode, 1, engineOpts()...))
 	if err != nil {
 		return 0, err
 	}
+	defer dev.Close()
 	e, err := def.New(dev, false, engineOpts()...)
 	if err != nil {
 		return 0, err
@@ -146,10 +166,16 @@ func Enumerate(def EngineDef, mode pmem.Mode, p *Program) (int, error) {
 // workload finished before reaching the event (the index is past the end of
 // the trace), err is non-nil on an invariant violation.
 func RunPoint(def EngineDef, mode pmem.Mode, devSeed int64, p *Program, event int) (completed bool, err error) {
-	dev, err := pmem.New(def.DeviceConfig(mode, devSeed, engineOpts()...))
+	return RunPointOn(nil, def, mode, devSeed, p, event)
+}
+
+// RunPointOn is RunPoint with an explicit device factory (nil = simulator).
+func RunPointOn(fac DeviceFactory, def EngineDef, mode pmem.Mode, devSeed int64, p *Program, event int) (completed bool, err error) {
+	dev, err := fac.newDevice(def.DeviceConfig(mode, devSeed, engineOpts()...))
 	if err != nil {
 		return false, err
 	}
+	defer dev.Close()
 	e, err := def.New(dev, false, engineOpts()...)
 	if err != nil {
 		return false, err
@@ -184,10 +210,20 @@ func RunPoint(def EngineDef, mode pmem.Mode, devSeed int64, p *Program, event in
 	// The power failure: lose everything that was not durable.
 	dev.Crash()
 
+	return false, RecoverAndVerify(def, dev, p, acked)
+}
+
+// RecoverAndVerify re-attaches def's engine to dev (which must hold a
+// post-crash image) and checks every recovery invariant against the oracle:
+// recovery succeeds, the allocator audits clean, the logical state is
+// exactly StateAfter(acked) or StateAfter(acked+1), and the recovered engine
+// still commits. Shared by the enumerated sweep, the torn-msync tests and
+// the whole-process kill harness.
+func RecoverAndVerify(def EngineDef, dev pmem.Device, p *Program, acked int) error {
 	// Invariant 1: recovery must succeed (magic intact, no corruption).
 	r, err := def.New(dev, true, engineOpts()...)
 	if err != nil {
-		return false, fmt.Errorf("recovery failed after %d acked txns: %w", acked, err)
+		return fmt.Errorf("recovery failed after %d acked txns: %w", acked, err)
 	}
 
 	// Invariant 2: the heap must tile into valid allocator blocks.
@@ -201,7 +237,7 @@ func RunPoint(def EngineDef, mode pmem.Mode, devSeed int64, p *Program, event in
 		return 0
 	})
 	if !auditOK {
-		return false, fmt.Errorf("allocator audit failed after %d acked txns", acked)
+		return fmt.Errorf("allocator audit failed after %d acked txns", acked)
 	}
 
 	// Invariant 3: differential state. The crash interrupted transaction
@@ -214,7 +250,7 @@ func RunPoint(def EngineDef, mode pmem.Mode, devSeed int64, p *Program, event in
 		next = p.Len()
 	}
 	if got != p.StateAfter(acked) && got != p.StateAfter(next) {
-		return false, fmt.Errorf(
+		return fmt.Errorf(
 			"oracle divergence after %d acked txns:\n--- recovered ---\n%s\n--- want (k=%d) ---\n%s\n--- or (k=%d) ---\n%s",
 			acked, got, acked, p.StateAfter(acked), next, p.StateAfter(next))
 	}
@@ -225,9 +261,9 @@ func RunPoint(def EngineDef, mode pmem.Mode, devSeed int64, p *Program, event in
 		return 0
 	})
 	if v := r.Read(func(tx tm.Tx) uint64 { return tx.Load(tm.Root(8)) }); v != 0xBEEF {
-		return false, errors.New("post-recovery update lost")
+		return errors.New("post-recovery update lost")
 	}
-	return false, nil
+	return nil
 }
 
 // Run executes the crash-point matrix described by cfg and returns the
@@ -281,9 +317,9 @@ func Run(cfg Config) (*Result, error) {
 			var events int
 			var err error
 			if cfg.Batch > 1 {
-				events, err = EnumerateBatched(def, sw.mode, p, cfg.Batch)
+				events, err = EnumerateBatchedOn(cfg.Device, def, sw.mode, p, cfg.Batch)
 			} else {
-				events, err = Enumerate(def, sw.mode, p)
+				events, err = EnumerateOn(cfg.Device, def, sw.mode, p)
 			}
 			if err != nil {
 				return nil, fmt.Errorf("crashcheck: enumerating %s: %w", name, err)
@@ -294,9 +330,9 @@ func Run(cfg Config) (*Result, error) {
 			for i := 1; i <= events; i += cfg.Stride {
 				var completed bool
 				if cfg.Batch > 1 {
-					completed, err = RunPointBatched(def, sw.mode, sw.devSeed, p, cfg.Batch, i)
+					completed, err = RunPointBatchedOn(cfg.Device, def, sw.mode, sw.devSeed, p, cfg.Batch, i)
 				} else {
-					completed, err = RunPoint(def, sw.mode, sw.devSeed, p, i)
+					completed, err = RunPointOn(cfg.Device, def, sw.mode, sw.devSeed, p, i)
 				}
 				if completed {
 					break

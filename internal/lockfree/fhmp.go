@@ -21,7 +21,7 @@ import (
 // Device layout: word 0 = head, 1 = tail, 2 = bump; nodes are two raw words
 // (value, next), addressed by word offset; offset 0 doubles as nil.
 type FHMP struct {
-	dev *pmem.Device
+	dev pmem.Device
 }
 
 const (
@@ -32,7 +32,7 @@ const (
 )
 
 // NewFHMP creates a queue on dev (which must be freshly formatted).
-func NewFHMP(dev *pmem.Device) *FHMP {
+func NewFHMP(dev pmem.Device) *FHMP {
 	q := &FHMP{dev: dev}
 	// Sentinel node.
 	s := q.alloc()
@@ -45,7 +45,7 @@ func NewFHMP(dev *pmem.Device) *FHMP {
 
 // AttachFHMP re-attaches to a crashed device and runs the (trivial)
 // recovery: complete a half-linked tail.
-func AttachFHMP(dev *pmem.Device) *FHMP {
+func AttachFHMP(dev pmem.Device) *FHMP {
 	q := &FHMP{dev: dev}
 	tail := dev.RawLoad(fhTail)
 	if next := dev.RawLoad(int(tail) + 1); next != 0 {

@@ -342,7 +342,7 @@ func TestSetConcurrentContended(t *testing.T) {
 
 // --- FHMP persistent queue ---
 
-func newFHMPDev(t *testing.T, mode pmem.Mode) *pmem.Device {
+func newFHMPDev(t *testing.T, mode pmem.Mode) pmem.Device {
 	t.Helper()
 	dev, err := pmem.New(pmem.Config{RawWords: 1 << 20, Mode: mode, MaxSlots: testThreads + 1, Seed: 11})
 	if err != nil {

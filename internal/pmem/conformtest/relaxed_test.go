@@ -1,0 +1,169 @@
+package conformtest
+
+import (
+	"testing"
+
+	"onefile/internal/pmem"
+)
+
+// This file pins down RelaxedMode's crash semantics as a table, swept over
+// every backend: for each scenario the set of word values a crash may leave
+// behind is specified exactly, and scenarios with more than one permitted
+// outcome must exhibit every one of them across device seeds (otherwise the
+// backend is not actually exercising the reordering window).
+
+const relaxedSeeds = 64
+
+func relaxedCfg(seed int64) pmem.Config {
+	return pmem.Config{RawWords: 64, PairWords: 4, Mode: pmem.RelaxedMode, MaxSlots: 4, Seed: seed}
+}
+
+func TestRelaxedCrashOutcomeTable(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(d pmem.Device) // mutate word 0 via slot 0, then the test crashes
+		// allowed maps permitted post-crash values of word 0 to whether the
+		// sweep is REQUIRED to observe them at least once.
+		allowed map[uint64]bool
+	}{
+		{
+			name:    "store without flush is always lost",
+			run:     func(d pmem.Device) { d.RawStore(0, 7) },
+			allowed: map[uint64]bool{0: true},
+		},
+		{
+			name: "flushed but unfenced may go either way",
+			run: func(d pmem.Device) {
+				d.RawStore(0, 7)
+				d.Flush(0, 0, 1)
+			},
+			allowed: map[uint64]bool{0: true, 7: true},
+		},
+		{
+			name: "flush plus fence always survives",
+			run: func(d pmem.Device) {
+				d.RawStore(0, 7)
+				d.Flush(0, 0, 1)
+				d.Fence(0)
+			},
+			allowed: map[uint64]bool{7: true},
+		},
+		{
+			name: "drain orders like a fence",
+			run: func(d pmem.Device) {
+				d.RawStore(0, 7)
+				d.Flush(0, 0, 1)
+				d.Drain(0)
+			},
+			allowed: map[uint64]bool{7: true},
+		},
+		{
+			name: "a fence by another slot does not drain the issuer",
+			run: func(d pmem.Device) {
+				d.RawStore(0, 7)
+				d.Flush(0, 0, 1)
+				d.Fence(1) // wrong slot: slot 0's buffer must stay pending
+			},
+			allowed: map[uint64]bool{0: true, 7: true},
+		},
+		{
+			name: "flush snapshots the line at flush time",
+			run: func(d pmem.Device) {
+				d.RawStore(0, 7)
+				d.Flush(0, 0, 1)
+				d.RawStore(0, 9) // after the pwb: never part of the snapshot
+			},
+			// kept pwb => 7; dropped => 0; the unflushed 9 can never appear.
+			allowed: map[uint64]bool{0: true, 7: true},
+		},
+		{
+			name: "refreshed flush persists the newer value",
+			run: func(d pmem.Device) {
+				d.RawStore(0, 7)
+				d.Flush(0, 0, 1)
+				d.RawStore(0, 9)
+				d.Flush(0, 0, 1)
+				d.Fence(0)
+			},
+			// The second pwb snapshots 9 and the fence drains both buffered
+			// lines in order; the image never moves backwards past it.
+			allowed: map[uint64]bool{9: true},
+		},
+	}
+	forEach(t, func(t *testing.T, mk func(tb testing.TB, cfg pmem.Config) pmem.Device) {
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				seen := map[uint64]int{}
+				for seed := int64(1); seed <= relaxedSeeds; seed++ {
+					d := mk(t, relaxedCfg(seed))
+					tc.run(d)
+					d.Crash()
+					got := d.RawLoad(0)
+					if !tc.allowed[got] {
+						t.Fatalf("seed %d: post-crash word = %d, allowed %v", seed, got, keysOf(tc.allowed))
+					}
+					seen[got]++
+				}
+				if len(tc.allowed) > 1 && len(seen) != len(tc.allowed) {
+					t.Fatalf("sweep of %d seeds observed only %v of allowed %v — reordering window not exercised",
+						relaxedSeeds, keysOf(seen), keysOf(tc.allowed))
+				}
+				t.Logf("outcome counts over %d seeds: %v", relaxedSeeds, seen)
+			})
+		}
+	})
+}
+
+func keysOf[V any](m map[uint64]V) []uint64 {
+	ks := make([]uint64, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// TestRelaxedPairImageNeverRegresses sweeps seeds over a crash with a stale
+// buffered pair flush pending: whatever subset the crash keeps, the
+// sequence-guarded image must never move backwards.
+func TestRelaxedPairImageNeverRegresses(t *testing.T) {
+	forEach(t, func(t *testing.T, mk func(tb testing.TB, cfg pmem.Config) pmem.Device) {
+		for seed := int64(1); seed <= relaxedSeeds; seed++ {
+			d := mk(t, relaxedCfg(seed))
+			// Make {val 100, seq 5} durable.
+			d.FlushPair(0, 0, 100, 5)
+			d.Fence(0)
+			// A delayed flusher writes back an older view; it is still buffered
+			// at the crash and may be "kept" — the guard must reject it.
+			d.FlushPair(1, 0, 42, 3)
+			d.Crash()
+			if val, seq := d.ImagePair(0); seq != 5 || val != 100 {
+				t.Fatalf("seed %d: image regressed to {val %d, seq %d}", seed, val, seq)
+			}
+		}
+	})
+}
+
+// TestRelaxedPairCrashKeepsOrDropsNewer: a buffered *newer* pair flush may
+// survive the crash or not, but the sweep must see both outcomes, and the
+// image must always be one of the two sequences — never anything else.
+func TestRelaxedPairCrashKeepsOrDropsNewer(t *testing.T) {
+	forEach(t, func(t *testing.T, mk func(tb testing.TB, cfg pmem.Config) pmem.Device) {
+		seen := map[uint64]int{}
+		for seed := int64(1); seed <= relaxedSeeds; seed++ {
+			d := mk(t, relaxedCfg(seed))
+			d.FlushPair(0, 0, 100, 5)
+			d.Fence(0)
+			d.FlushPair(0, 0, 200, 6) // unfenced
+			d.Crash()
+			_, seq := d.ImagePair(0)
+			if seq != 5 && seq != 6 {
+				t.Fatalf("seed %d: image seq = %d, want 5 or 6", seed, seq)
+			}
+			seen[seq]++
+		}
+		if len(seen) != 2 {
+			t.Fatalf("sweep observed only seq %v; both keep and drop must occur", keysOf(seen))
+		}
+		t.Logf("outcome counts over %d seeds: %v", relaxedSeeds, seen)
+	})
+}

@@ -1,0 +1,67 @@
+package conformtest
+
+import (
+	"sync"
+	"testing"
+
+	"onefile/internal/pmem"
+)
+
+// TestStatsConcurrentSnapshots pins the documented snapshot semantics of
+// Device.Stats under concurrent flushes, for every backend: each counter is
+// individually monotonic across snapshots taken mid-flight, and once the
+// flushers quiesce the totals are exact. Run with -race — for the file
+// backend this also races flushes against msync batching.
+func TestStatsConcurrentSnapshots(t *testing.T) {
+	const (
+		workers = 4
+		rounds  = 2000
+	)
+	forEach(t, func(t *testing.T, mk func(tb testing.TB, cfg pmem.Config) pmem.Device) {
+		d := mk(t, pmem.Config{RawWords: 256, PairWords: 64, Mode: pmem.StrictMode, MaxSlots: workers, Seed: 1})
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(slot int) {
+				defer wg.Done()
+				for i := 0; i < rounds; i++ {
+					d.Flush(slot, slot*8, 1) // 1 pwb
+					d.Fence(slot)            // 1 pfence
+					d.Drain(slot)            // 1 pdrain
+				}
+			}(w)
+		}
+		// Sample concurrently: every counter must be monotonic even though the
+		// triple is not a consistent cut.
+		var prev pmem.Stats
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		for sampling := true; sampling; {
+			select {
+			case <-done:
+				sampling = false
+			default:
+			}
+			s := d.Stats()
+			if s.Pwb < prev.Pwb || s.Pfence < prev.Pfence || s.Pdrain < prev.Pdrain {
+				t.Fatalf("counter went backwards: %+v after %+v", s, prev)
+			}
+			prev = s
+		}
+		// Quiesced: totals are exact.
+		want := uint64(workers * rounds)
+		if s := d.Stats(); s.Pwb != want || s.Pfence != want || s.Pdrain != want {
+			t.Fatalf("quiesced stats %+v, want %d each", s, want)
+		}
+		// ResetStats under quiescence zeroes everything; the next snapshot
+		// counts only post-reset events.
+		d.ResetStats()
+		if s := d.Stats(); s != (pmem.Stats{}) {
+			t.Fatalf("stats after reset: %+v", s)
+		}
+		d.Flush(0, 0, 1)
+		if s := d.Stats(); s.Pwb != 1 || s.Pfence != 0 || s.Pdrain != 0 {
+			t.Fatalf("post-reset delta wrong: %+v", s)
+		}
+	})
+}

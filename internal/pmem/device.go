@@ -1,0 +1,96 @@
+package pmem
+
+import (
+	"io"
+	"sync/atomic"
+)
+
+// Device is the persistence contract every NVM backend implements. The
+// engines (internal/core, internal/romulus, internal/undolog,
+// internal/lockfree) are written against this interface only, so they run
+// unmodified on any backend; the device-conformance suite
+// (internal/pmem/conformtest) holds every implementation to the same
+// semantics.
+//
+// Two implementations exist today:
+//
+//   - Sim (this package): the in-process simulator. Exact pwb/pfence
+//     accounting and a seeded RelaxedMode that reorders write-backs — the
+//     adversarial backend for crash enumeration.
+//   - filedev.Device (internal/pmem/filedev): an mmap-backed file whose
+//     persistent image survives whole-process crashes and re-execs.
+//
+// Method semantics (shared by all backends):
+//
+//   - The raw region is plain 64-bit words with a volatile view (RawLoad/
+//     RawStore/RawCAS/RawAdd/RawRegion) and a persistent image; Flush
+//     issues one pwb per covered cache line.
+//   - The pair region is the persistent image of TM words ({value,
+//     sequence} pairs); FlushPair/FlushPairLine persist caller-supplied
+//     snapshots, guarded so the image never regresses past a newer
+//     sequence.
+//   - Fence (pfence) and Drain (atomic-RMW-as-fence) are the ordering
+//     points that make the issuing slot's prior flushes durable.
+//   - Crash simulates a power failure: everything not durable is lost and
+//     the volatile views reload from the persistent image. It requires
+//     quiescence, as a real whole-process crash would provide.
+//   - WriteTo/ReadFrom serialise exactly the durable image (the snapshot
+//     format of this package), portable across backends.
+//   - Close releases backend resources (mmap, file handles); for durable
+//     backends it syncs the image and marks a clean shutdown. The
+//     simulator's Close is a no-op.
+type Device interface {
+	// Mode returns the durability model the device was opened with.
+	Mode() Mode
+	// Stats returns a snapshot of the persistence counters; see Sim.Stats
+	// for the per-counter (not cross-counter) consistency contract.
+	Stats() Stats
+	// ResetStats zeroes the persistence counters (quiescence required for
+	// meaningful deltas; see Sim.ResetStats).
+	ResetStats()
+	// SetHook installs fn to be called before every persistence event, or
+	// removes the hook if fn is nil.
+	SetHook(fn func(Event))
+
+	// RawLoad returns the volatile value of raw word off.
+	RawLoad(off int) uint64
+	// RawStore sets the volatile value of raw word off.
+	RawStore(off int, v uint64)
+	// RawCAS performs a compare-and-swap on the volatile raw word off.
+	RawCAS(off int, old, new uint64) bool
+	// RawAdd atomically adds delta to the volatile raw word off.
+	RawAdd(off int, delta uint64) uint64
+	// RawRegion returns the volatile raw words [off, off+n) as a slice.
+	RawRegion(off, n int) []atomic.Uint64
+
+	// Flush issues one pwb per cache line covering raw words [off, off+n).
+	Flush(slot, off, n int)
+	// FlushPair issues one pwb persisting a snapshot of TM word idx.
+	FlushPair(slot, idx int, val, seq uint64)
+	// FlushPairLine issues one pwb persisting snapshots of n TM words that
+	// share a pair-region cache line.
+	FlushPairLine(slot int, n int, idx *[PairLineWords]int, vals, seqs *[PairLineWords]uint64)
+	// Fence issues a pfence ordering the slot's prior flushes.
+	Fence(slot int)
+	// Drain orders like a fence without counting a pfence (atomic RMW).
+	Drain(slot int)
+
+	// Crash simulates a full-system power failure (quiescence required).
+	Crash()
+	// ImagePair returns the persistent image of TM word idx.
+	ImagePair(idx int) (val, seq uint64)
+	// ImageRaw returns the persistent image of raw word off.
+	ImageRaw(off int) uint64
+	// RawWords returns the size of the raw region in words.
+	RawWords() int
+	// PairWords returns the number of TM words in the pair region.
+	PairWords() int
+
+	io.WriterTo
+	io.ReaderFrom
+
+	// Close releases backend resources. The device must be quiescent.
+	Close() error
+}
+
+var _ Device = (*Sim)(nil)

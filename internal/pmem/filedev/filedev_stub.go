@@ -1,0 +1,16 @@
+//go:build !unix
+
+package filedev
+
+import (
+	"errors"
+	"os"
+)
+
+// ErrUnsupported reports that this platform has no mmap-backed device.
+var ErrUnsupported = errors.New("filedev: mmap-backed devices require a unix platform")
+
+func mapFile(*os.File, int) ([]byte, error)      { return nil, ErrUnsupported }
+func unmapFile([]byte) error                     { return nil }
+func wordsOf([]byte) []uint64                    { return nil }
+func syncRange([]byte, int, int, *os.File) error { return ErrUnsupported }

@@ -1,0 +1,224 @@
+package filedev
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"onefile/internal/pmem"
+)
+
+func testCfg() pmem.Config {
+	return pmem.Config{RawWords: 256, PairWords: 64, Mode: pmem.StrictMode, MaxSlots: 4, Seed: 42}
+}
+
+func mustCreate(t *testing.T, cfg pmem.Config) (*Device, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "dev.img")
+	d, err := Create(path, cfg)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	return d, path
+}
+
+func TestCreateOpenRoundTrip(t *testing.T) {
+	d, path := mustCreate(t, testCfg())
+	d.RawStore(3, 77)
+	d.Flush(0, 3, 1)
+	d.FlushPair(0, 5, 10, 3)
+	d.Fence(0)
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r, err := Open(path, testCfg())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer r.Close()
+	if !r.WasClean() {
+		t.Error("clean shutdown not recorded in superblock")
+	}
+	if got := r.RawLoad(3); got != 77 {
+		t.Errorf("raw word 3 = %d after reopen, want 77", got)
+	}
+	if v, s := r.ImagePair(5); v != 10 || s != 3 {
+		t.Errorf("pair 5 = (%d,%d) after reopen, want (10,3)", v, s)
+	}
+}
+
+// TestSurvivesWithoutClose is the whole-process-crash property in miniature:
+// an abandoned (never-Closed) device's flushed state is visible to a fresh
+// Open of the same file, and the superblock reports the unclean shutdown.
+func TestSurvivesWithoutClose(t *testing.T) {
+	d, path := mustCreate(t, testCfg())
+	d.RawStore(3, 77)
+	d.Flush(0, 3, 1)
+	d.Fence(0)
+	d.RawStore(4, 88) // volatile only: never flushed
+
+	r, err := Open(path, testCfg())
+	if err != nil {
+		t.Fatalf("Open of abandoned device: %v", err)
+	}
+	defer r.Close()
+	if r.WasClean() {
+		t.Error("abandoned device opened as clean")
+	}
+	if got := r.RawLoad(3); got != 77 {
+		t.Errorf("fenced word = %d in fresh open, want 77", got)
+	}
+	if got := r.RawLoad(4); got != 0 {
+		t.Errorf("unflushed word leaked into the image: %d", got)
+	}
+	_ = d // keep the abandoned mapping alive until here
+}
+
+func TestOpenAdoptsSuperblockSizes(t *testing.T) {
+	d, path := mustCreate(t, testCfg())
+	d.Close()
+	r, err := Open(path, pmem.Config{})
+	if err != nil {
+		t.Fatalf("Open with zero sizes: %v", err)
+	}
+	defer r.Close()
+	if r.RawWords() != 256 || r.PairWords() != 64 {
+		t.Errorf("adopted sizes %d/%d, want 256/64", r.RawWords(), r.PairWords())
+	}
+}
+
+func TestOpenOrCreate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev.img")
+	d, created, err := OpenOrCreate(path, testCfg())
+	if err != nil || !created {
+		t.Fatalf("first OpenOrCreate: created=%v err=%v", created, err)
+	}
+	d.Close()
+	d, created, err = OpenOrCreate(path, testCfg())
+	if err != nil || created {
+		t.Fatalf("second OpenOrCreate: created=%v err=%v", created, err)
+	}
+	d.Close()
+}
+
+func TestCreateRefusesExisting(t *testing.T) {
+	d, path := mustCreate(t, testCfg())
+	d.Close()
+	if _, err := Create(path, testCfg()); err == nil {
+		t.Fatal("Create over an existing file succeeded")
+	}
+}
+
+func TestTypedOpenErrors(t *testing.T) {
+	mk := func(mutate func(t *testing.T, path string)) string {
+		path := filepath.Join(t.TempDir(), "dev.img")
+		d, err := Create(path, testCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Close()
+		mutate(t, path)
+		return path
+	}
+	patch := func(path string, off int64, b []byte) {
+		f, err := os.OpenFile(path, os.O_RDWR, 0)
+		if err != nil {
+			panic(err)
+		}
+		defer f.Close()
+		if _, err := f.WriteAt(b, off); err != nil {
+			panic(err)
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(t *testing.T, path string)
+		want   error
+	}{
+		{"bad magic", func(t *testing.T, p string) { patch(p, 0, []byte{0xde, 0xad}) }, ErrCorruptSuperblock},
+		{"future layout version", func(t *testing.T, p string) {
+			// Version bump with a recomputed checksum: only the version gate
+			// must fire, not the checksum one.
+			f, _ := os.OpenFile(p, os.O_RDWR, 0)
+			defer f.Close()
+			sb := make([]byte, blockBytes)
+			f.ReadAt(sb, 0)
+			w := wordsOf(sb)
+			w[sbVersionWord] = layoutVersion + 1
+			w[sbCrcWord] = sbCRC(w)
+			f.WriteAt(sb, 0)
+		}, ErrLayoutVersion},
+		{"checksum mismatch", func(t *testing.T, p string) { patch(p, sbRawWord*8, []byte{0xff}) }, ErrCorruptSuperblock},
+		{"bad state word", func(t *testing.T, p string) {
+			f, _ := os.OpenFile(p, os.O_RDWR, 0)
+			defer f.Close()
+			sb := make([]byte, blockBytes)
+			f.ReadAt(sb, 0)
+			w := wordsOf(sb)
+			w[sbStateWord] = 99
+			w[sbCrcWord] = sbCRC(w)
+			f.WriteAt(sb, 0)
+		}, ErrCorruptSuperblock},
+		{"truncated data region", func(t *testing.T, p string) {
+			if err := os.Truncate(p, blockBytes+8); err != nil {
+				t.Fatal(err)
+			}
+		}, ErrCorruptSuperblock},
+		{"truncated below superblock", func(t *testing.T, p string) {
+			if err := os.Truncate(p, 100); err != nil {
+				t.Fatal(err)
+			}
+		}, ErrCorruptSuperblock},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := mk(tc.mutate)
+			_, err := Open(path, testCfg())
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Open = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestSizeMismatch(t *testing.T) {
+	d, path := mustCreate(t, testCfg())
+	d.Close()
+	cfg := testCfg()
+	cfg.RawWords = 512
+	if _, err := Open(path, cfg); !errors.Is(err, ErrSizeMismatch) {
+		t.Fatalf("Open with wrong sizes = %v, want ErrSizeMismatch", err)
+	}
+}
+
+func TestCloseIsIdempotent(t *testing.T) {
+	d, _ := mustCreate(t, testCfg())
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestRelaxedPendingLostWithoutFence: buffered relaxed flushes live in the
+// process heap, not the mapping — an abandoned device loses them, exactly
+// like a kill before the fence.
+func TestRelaxedPendingLostWithoutFence(t *testing.T) {
+	cfg := testCfg()
+	cfg.Mode = pmem.RelaxedMode
+	d, path := mustCreate(t, cfg)
+	d.RawStore(3, 77)
+	d.Flush(0, 3, 1) // buffered, never fenced
+	r, err := Open(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.RawLoad(3); got != 0 {
+		t.Errorf("un-fenced relaxed flush reached the file: %d", got)
+	}
+	_ = d
+}

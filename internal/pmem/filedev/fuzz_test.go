@@ -1,0 +1,101 @@
+package filedev
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"onefile/internal/pmem"
+)
+
+// validImage renders a freshly formatted (and cleanly closed) device file
+// into bytes, as fuzz-corpus raw material.
+func validImage(tb testing.TB) []byte {
+	tb.Helper()
+	path := filepath.Join(tb.TempDir(), "seed.img")
+	d, err := Create(path, pmem.Config{RawWords: 64, PairWords: 16, MaxSlots: 2})
+	if err != nil {
+		tb.Fatalf("Create: %v", err)
+	}
+	d.RawStore(3, 77)
+	d.Flush(0, 3, 1)
+	d.FlushPair(0, 5, 10, 3)
+	d.Fence(0)
+	d.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// FuzzOpenDevice throws arbitrary bytes at Open: whatever is on disk — a
+// truncated copy, a bit-flipped superblock, a version from the future, pure
+// garbage — Open must never panic and never succeed on an inconsistent
+// image; failures must carry one of the package's typed errors so tools
+// like onefile-inspect can explain them.
+func FuzzOpenDevice(f *testing.F) {
+	img := validImage(f)
+	f.Add(img)
+	f.Add(img[:blockBytes])                          // superblock only, data region gone
+	f.Add(img[:100])                                 // below superblock size
+	f.Add([]byte{})                                  // empty file
+	f.Add(bytes.Repeat([]byte{0xA5}, blockBytes+16)) // garbage
+	// Bad magic, everything else intact.
+	bad := append([]byte(nil), img...)
+	bad[0] ^= 0xFF
+	f.Add(bad)
+	// Future layout version with a recomputed checksum.
+	fut := append([]byte(nil), img...)
+	w := wordsOf(fut[:blockBytes])
+	w[sbVersionWord] = layoutVersion + 1
+	w[sbCrcWord] = sbCRC(w)
+	f.Add(fut)
+	// Implausible region sizes with a recomputed checksum.
+	huge := append([]byte(nil), img...)
+	w = wordsOf(huge[:blockBytes])
+	w[sbRawWord] = 1 << 50
+	w[sbCrcWord] = sbCRC(w)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip("image larger than the fuzz budget")
+		}
+		path := filepath.Join(t.TempDir(), "fuzz.img")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		d, err := Open(path, pmem.Config{}) // zero config: adopt the file's sizes
+		if err != nil {
+			if !errors.Is(err, ErrCorruptSuperblock) &&
+				!errors.Is(err, ErrLayoutVersion) &&
+				!errors.Is(err, ErrSizeMismatch) {
+				t.Fatalf("Open failed with an untyped error: %v", err)
+			}
+			return
+		}
+		defer d.Close()
+		// Accepted: the adopted geometry must be self-consistent with the
+		// file, and the device must actually work.
+		if d.RawWords() <= 0 && d.PairWords() <= 0 {
+			t.Fatalf("accepted image with no regions: %d/%d", d.RawWords(), d.PairWords())
+		}
+		if _, _, total := layout(d.RawWords(), d.PairWords()); len(data) < total {
+			t.Fatalf("accepted image of %d bytes needing %d", len(data), total)
+		}
+		if d.RawWords() > 0 {
+			_ = d.RawLoad(0)
+			_ = d.ImageRaw(d.RawWords() - 1)
+		}
+		if d.PairWords() > 0 {
+			_, _ = d.ImagePair(d.PairWords() - 1)
+		}
+		var buf bytes.Buffer
+		if _, err := d.WriteTo(&buf); err != nil {
+			t.Fatalf("snapshot of accepted image: %v", err)
+		}
+	})
+}

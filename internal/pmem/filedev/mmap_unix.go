@@ -1,0 +1,33 @@
+//go:build unix
+
+package filedev
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// mapFile maps the first size bytes of f shared and read-write: stores
+// through the mapping land in the page cache immediately (surviving a
+// process kill) and reach media at msync.
+func mapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}
+
+func unmapFile(data []byte) error {
+	if data == nil {
+		return nil
+	}
+	return syscall.Munmap(data)
+}
+
+// wordsOf views a byte slice of the mapping as native-endian 64-bit words.
+// The mapping is page-aligned and every region starts block-aligned, so the
+// cast is always aligned.
+func wordsOf(b []byte) []uint64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), len(b)/8)
+}

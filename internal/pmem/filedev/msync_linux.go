@@ -1,0 +1,33 @@
+//go:build linux
+
+package filedev
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// syncRange msyncs the pages of data covering [off, off+n) with MS_SYNC.
+// msync addresses must be page-aligned; the range is widened to page
+// boundaries (syncing an untouched neighbour page is harmless).
+func syncRange(data []byte, off, n int, _ *os.File) error {
+	if n <= 0 || len(data) == 0 {
+		return nil
+	}
+	page := os.Getpagesize()
+	lo := off / page * page
+	hi := off + n
+	if hi > len(data) {
+		hi = len(data)
+	}
+	length := hi - lo
+	if length <= 0 {
+		return nil
+	}
+	addr := uintptr(unsafe.Pointer(&data[lo]))
+	if _, _, errno := syscall.Syscall(syscall.SYS_MSYNC, addr, uintptr(length), syscall.MS_SYNC); errno != 0 {
+		return errno
+	}
+	return nil
+}

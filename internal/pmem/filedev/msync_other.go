@@ -1,0 +1,15 @@
+//go:build unix && !linux
+
+package filedev
+
+import "os"
+
+// syncRange on non-Linux unix falls back to fsync of the whole file: the
+// mapping is MAP_SHARED, so the kernel flushes its dirty pages on fsync.
+// Coarser than msync of the exact range, but the same durability point.
+func syncRange(_ []byte, _, n int, f *os.File) error {
+	if n <= 0 {
+		return nil
+	}
+	return f.Sync()
+}

@@ -110,10 +110,10 @@ type slotBuf struct {
 	pairs []pendingPairs
 }
 
-// Device is an emulated NVM DIMM. All methods are safe for concurrent use
+// Sim is an emulated NVM DIMM. All methods are safe for concurrent use
 // except Crash and Recover-time image accessors, which require quiescence
 // (no goroutine inside a transaction), as a real whole-process crash would.
-type Device struct {
+type Sim struct {
 	cfg Config
 
 	rawVol []atomic.Uint64 // volatile view of the raw region
@@ -143,7 +143,7 @@ type Device struct {
 var ErrBadConfig = errors.New("pmem: invalid device configuration")
 
 // New creates a Device. The persistent image starts zeroed (a fresh DIMM).
-func New(cfg Config) (*Device, error) {
+func New(cfg Config) (*Sim, error) {
 	if cfg.RawWords < 0 || cfg.PairWords < 0 || cfg.RawWords+cfg.PairWords == 0 {
 		return nil, ErrBadConfig
 	}
@@ -158,7 +158,7 @@ func New(cfg Config) (*Device, error) {
 	}
 	nLines := (cfg.RawWords + LineWords - 1) / LineWords
 	nPairLines := (cfg.PairWords + PairLineWords - 1) / PairLineWords
-	d := &Device{
+	d := &Sim{
 		cfg:     cfg,
 		rawVol:  make([]atomic.Uint64, cfg.RawWords),
 		rawImg:  make([]uint64, cfg.RawWords),
@@ -180,7 +180,7 @@ func minInt(a, b int) int {
 }
 
 // Mode returns the device's durability model.
-func (d *Device) Mode() Mode { return d.cfg.Mode }
+func (d *Sim) Mode() Mode { return d.cfg.Mode }
 
 // Stats returns a snapshot of the persistence counters.
 //
@@ -194,7 +194,7 @@ func (d *Device) Mode() Mode { return d.cfg.Mode }
 // at most the number of in-flight flushers — which is how the bench
 // harness uses it (counters are sampled after the measured section joins
 // its workers).
-func (d *Device) Stats() Stats {
+func (d *Sim) Stats() Stats {
 	return Stats{Pwb: d.pwb.Load(), Pfence: d.pfence.Load(), Pdrain: d.pdrain.Load()}
 }
 
@@ -204,7 +204,7 @@ func (d *Device) Stats() Stats {
 // concurrent reset are meaningless. Call it only while no transaction is
 // in flight (between bench phases); for concurrent-safe deltas, snapshot
 // with Stats twice and use Stats.Sub instead.
-func (d *Device) ResetStats() {
+func (d *Sim) ResetStats() {
 	d.pwb.Store(0)
 	d.pfence.Store(0)
 	d.pdrain.Store(0)
@@ -212,7 +212,7 @@ func (d *Device) ResetStats() {
 
 // SetHook installs fn to be called before every persistence event, or
 // removes the hook if fn is nil. Used by failure-injection tests.
-func (d *Device) SetHook(fn func(Event)) {
+func (d *Sim) SetHook(fn func(Event)) {
 	if fn == nil {
 		d.hook.Store(nil)
 		return
@@ -220,7 +220,7 @@ func (d *Device) SetHook(fn func(Event)) {
 	d.hook.Store(&fn)
 }
 
-func (d *Device) fire(ev Event) {
+func (d *Sim) fire(ev Event) {
 	if h := d.hook.Load(); h != nil {
 		(*h)(ev)
 	}
@@ -229,20 +229,20 @@ func (d *Device) fire(ev Event) {
 // --- raw region: volatile accessors ---
 
 // RawLoad returns the volatile value of raw word off.
-func (d *Device) RawLoad(off int) uint64 { return d.rawVol[off].Load() }
+func (d *Sim) RawLoad(off int) uint64 { return d.rawVol[off].Load() }
 
 // RawStore sets the volatile value of raw word off. Not durable until the
 // covering line is flushed and fenced.
-func (d *Device) RawStore(off int, v uint64) { d.rawVol[off].Store(v) }
+func (d *Sim) RawStore(off int, v uint64) { d.rawVol[off].Store(v) }
 
 // RawCAS performs a compare-and-swap on the volatile raw word off.
-func (d *Device) RawCAS(off int, old, new uint64) bool {
+func (d *Sim) RawCAS(off int, old, new uint64) bool {
 	return d.rawVol[off].CompareAndSwap(old, new)
 }
 
 // RawAdd atomically adds delta to the volatile raw word off and returns the
 // new value.
-func (d *Device) RawAdd(off int, delta uint64) uint64 {
+func (d *Sim) RawAdd(off int, delta uint64) uint64 {
 	return d.rawVol[off].Add(delta)
 }
 
@@ -250,7 +250,7 @@ func (d *Device) RawAdd(off int, delta uint64) uint64 {
 // an engine use device memory directly as its shared structures (redo logs,
 // replicas). Stores through the slice are volatile; persistence still goes
 // through Flush.
-func (d *Device) RawRegion(off, n int) []atomic.Uint64 {
+func (d *Sim) RawRegion(off, n int) []atomic.Uint64 {
 	return d.rawVol[off : off+n]
 }
 
@@ -260,7 +260,7 @@ func (d *Device) RawRegion(off, n int) []atomic.Uint64 {
 func lineOf(off int) int { return off / LineWords }
 
 // snapshotLine captures the current volatile content of a line.
-func (d *Device) snapshotLine(line int) (p pendingRaw) {
+func (d *Sim) snapshotLine(line int) (p pendingRaw) {
 	p.line = line
 	base := line * LineWords
 	for i := 0; i < LineWords && base+i < len(d.rawVol); i++ {
@@ -269,7 +269,7 @@ func (d *Device) snapshotLine(line int) (p pendingRaw) {
 	return p
 }
 
-func (d *Device) commitRawLine(p pendingRaw) {
+func (d *Sim) commitRawLine(p pendingRaw) {
 	mu := &d.rawMu[p.line%len(d.rawMu)]
 	mu.Lock()
 	base := p.line * LineWords
@@ -281,7 +281,7 @@ func (d *Device) commitRawLine(p pendingRaw) {
 
 // Flush issues one pwb per cache line covering raw words [off, off+n).
 // slot is the issuing thread slot (used for RelaxedMode buffering).
-func (d *Device) Flush(slot, off, n int) {
+func (d *Sim) Flush(slot, off, n int) {
 	if n <= 0 {
 		return
 	}
@@ -303,7 +303,7 @@ func (d *Device) Flush(slot, off, n int) {
 // commitPairs advances the persistent image of the TM words in p, skipping
 // any word whose image already holds an equal or newer sequence (monotonic
 // guard). All words of p share one pair line, so one shard lock covers them.
-func (d *Device) commitPairs(p pendingPairs) {
+func (d *Sim) commitPairs(p pendingPairs) {
 	if p.n == 0 {
 		return
 	}
@@ -325,7 +325,7 @@ func (d *Device) commitPairs(p pendingPairs) {
 // FlushPair issues one pwb persisting the given snapshot of TM word idx.
 // The snapshot must be the flusher's current view of the word (read at
 // flush time); the monotonic guard makes stale snapshots harmless.
-func (d *Device) FlushPair(slot, idx int, val, seq uint64) {
+func (d *Sim) FlushPair(slot, idx int, val, seq uint64) {
 	var p pendingPairs
 	p.n = 1
 	p.idx[0], p.vals[0], p.seqs[0] = idx, val, seq
@@ -339,7 +339,7 @@ func (d *Device) FlushPair(slot, idx int, val, seq uint64) {
 // keep their image, which is conservative relative to real hardware and
 // preserves the recovery invariant that no word's durable sequence exceeds
 // the durable curTx (see internal/core attach).
-func (d *Device) FlushPairLine(slot int, n int, idx *[PairLineWords]int, vals, seqs *[PairLineWords]uint64) {
+func (d *Sim) FlushPairLine(slot int, n int, idx *[PairLineWords]int, vals, seqs *[PairLineWords]uint64) {
 	if n <= 0 {
 		return
 	}
@@ -360,7 +360,7 @@ func (d *Device) FlushPairLine(slot int, n int, idx *[PairLineWords]int, vals, s
 	d.flushPairs(slot, p)
 }
 
-func (d *Device) flushPairs(slot int, p pendingPairs) {
+func (d *Sim) flushPairs(slot int, p pendingPairs) {
 	d.fire(EvPwb)
 	d.pwb.Add(1)
 	if d.cfg.Mode == StrictMode {
@@ -371,7 +371,7 @@ func (d *Device) flushPairs(slot int, p pendingPairs) {
 }
 
 // drain commits all buffered flushes of slot.
-func (d *Device) drain(slot int) {
+func (d *Sim) drain(slot int) {
 	buf := &d.pending[slot]
 	for _, p := range buf.raws {
 		d.commitRawLine(p)
@@ -385,7 +385,7 @@ func (d *Device) drain(slot int) {
 
 // Fence issues a pfence: all flushes previously issued by slot become
 // durable.
-func (d *Device) Fence(slot int) {
+func (d *Sim) Fence(slot int) {
 	d.fire(EvFence)
 	d.pfence.Add(1)
 	if d.cfg.Mode == RelaxedMode {
@@ -396,7 +396,7 @@ func (d *Device) Fence(slot int) {
 // Drain provides the ordering of a fence without counting a pfence. It
 // models an atomic RMW instruction that orders prior CLWBs on x86 (the
 // paper's "the successful CAS acts as a pfence").
-func (d *Device) Drain(slot int) {
+func (d *Sim) Drain(slot int) {
 	d.fire(EvDrain)
 	d.pdrain.Add(1)
 	if d.cfg.Mode == RelaxedMode {
@@ -412,7 +412,7 @@ func (d *Device) Drain(slot int) {
 // volatile raw word is reloaded from the persistent image. The caller must
 // guarantee quiescence. After Crash the pair image is the only record of TM
 // words; engines rebuild their volatile words from it via ImagePair.
-func (d *Device) Crash() {
+func (d *Sim) Crash() {
 	if d.cfg.Mode == RelaxedMode {
 		d.rngMu.Lock()
 		for s := range d.pending {
@@ -441,9 +441,14 @@ func (d *Device) Crash() {
 	}
 }
 
+// Close implements Device. The simulator holds no external resources, so
+// Close is a no-op; the volatile and persistent images stay readable, which
+// crash tests rely on (a closed simulator is still inspectable).
+func (d *Sim) Close() error { return nil }
+
 // ImagePair returns the persistent image of TM word idx (value, sequence).
 // Intended for recovery and tests.
-func (d *Device) ImagePair(idx int) (val, seq uint64) {
+func (d *Sim) ImagePair(idx int) (val, seq uint64) {
 	mu := &d.pairMu[(idx/PairLineWords)%len(d.pairMu)]
 	mu.Lock()
 	val, seq = d.pairVal[idx], d.pairSeq[idx]
@@ -453,10 +458,10 @@ func (d *Device) ImagePair(idx int) (val, seq uint64) {
 
 // ImageRaw returns the persistent image of raw word off. Intended for
 // recovery and tests; callers must be quiescent.
-func (d *Device) ImageRaw(off int) uint64 { return d.rawImg[off] }
+func (d *Sim) ImageRaw(off int) uint64 { return d.rawImg[off] }
 
 // RawWords returns the size of the raw region.
-func (d *Device) RawWords() int { return len(d.rawVol) }
+func (d *Sim) RawWords() int { return len(d.rawVol) }
 
 // PairWords returns the size of the pair region.
-func (d *Device) PairWords() int { return len(d.pairSeq) }
+func (d *Sim) PairWords() int { return len(d.pairSeq) }

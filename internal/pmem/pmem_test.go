@@ -2,17 +2,12 @@ package pmem
 
 import (
 	"testing"
-
 )
 
-func newDev(t *testing.T, mode Mode) *Device {
-	t.Helper()
-	d, err := New(Config{RawWords: 256, PairWords: 64, Mode: mode, MaxSlots: 4, Seed: 42})
-	if err != nil {
-		t.Fatalf("New: %v", err)
-	}
-	return d
-}
+// The semantic tests for the simulator (strict/relaxed crash tables, pair
+// guard, stats, snapshot, hooks) live in internal/pmem/conformtest, where
+// they run over every Device implementation. This file keeps only the
+// Sim-specific concerns: constructor validation.
 
 func TestNewRejectsBadConfig(t *testing.T) {
 	for _, cfg := range []Config{
@@ -24,181 +19,5 @@ func TestNewRejectsBadConfig(t *testing.T) {
 		if _, err := New(cfg); err == nil {
 			t.Errorf("New(%+v) succeeded, want error", cfg)
 		}
-	}
-}
-
-func TestStrictFlushSurvivesCrash(t *testing.T) {
-	d := newDev(t, StrictMode)
-	d.RawStore(3, 77)
-	d.Flush(0, 3, 1)
-	d.RawStore(4, 88) // same line, stored after the flush: volatile only
-	d.Crash()
-	if got := d.RawLoad(3); got != 77 {
-		t.Errorf("flushed word = %d, want 77", got)
-	}
-	if got := d.RawLoad(4); got != 0 {
-		t.Errorf("unflushed word survived crash: %d", got)
-	}
-}
-
-func TestUnflushedStoreLostOnCrash(t *testing.T) {
-	d := newDev(t, StrictMode)
-	d.RawStore(10, 5)
-	d.Crash()
-	if got := d.RawLoad(10); got != 0 {
-		t.Errorf("unflushed store survived crash: %d", got)
-	}
-}
-
-func TestFlushCoversWholeLine(t *testing.T) {
-	d := newDev(t, StrictMode)
-	for i := 0; i < LineWords; i++ {
-		d.RawStore(i, uint64(i+1))
-	}
-	d.Flush(0, 0, 1) // flushing any word persists its whole line
-	d.Crash()
-	for i := 0; i < LineWords; i++ {
-		if got := d.RawLoad(i); got != uint64(i+1) {
-			t.Errorf("word %d = %d after crash, want %d", i, got, i+1)
-		}
-	}
-}
-
-func TestRelaxedFlushNeedsFence(t *testing.T) {
-	d := newDev(t, RelaxedMode)
-	d.RawStore(3, 77)
-	d.Flush(0, 3, 1)
-	// No fence: the flush is still pending. The image must not have it.
-	if got := d.ImageRaw(3); got != 0 {
-		t.Errorf("pending flush reached the image without a fence: %d", got)
-	}
-	d.Fence(0)
-	if got := d.ImageRaw(3); got != 77 {
-		t.Errorf("fenced flush missing from image: %d", got)
-	}
-}
-
-func TestRelaxedDrainCommitsWithoutPfence(t *testing.T) {
-	d := newDev(t, RelaxedMode)
-	d.RawStore(3, 9)
-	d.Flush(0, 3, 1)
-	d.Drain(0)
-	if got := d.ImageRaw(3); got != 9 {
-		t.Errorf("drained flush missing from image: %d", got)
-	}
-	if s := d.Stats(); s.Pfence != 0 {
-		t.Errorf("Drain counted %d pfences, want 0", s.Pfence)
-	}
-}
-
-func TestRelaxedCrashDropsSomePending(t *testing.T) {
-	// With many independent pending flushes and a seeded RNG, a crash
-	// keeps a strict subset (statistically certain with 64 lines).
-	d, err := New(Config{RawWords: 64 * LineWords, PairWords: 1, Mode: RelaxedMode, MaxSlots: 1, Seed: 7})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := 0; i < 64; i++ {
-		d.RawStore(i*LineWords, uint64(i+1))
-		d.Flush(0, i*LineWords, 1)
-	}
-	d.Crash()
-	kept, lost := 0, 0
-	for i := 0; i < 64; i++ {
-		if d.RawLoad(i*LineWords) == uint64(i+1) {
-			kept++
-		} else {
-			lost++
-		}
-	}
-	if kept == 0 || lost == 0 {
-		t.Errorf("crash kept %d and lost %d pending flushes; expected a mix", kept, lost)
-	}
-}
-
-func TestPairMonotonicGuard(t *testing.T) {
-	d := newDev(t, StrictMode)
-	d.FlushPair(0, 5, 10, 3)
-	// A delayed flusher with an older snapshot must not regress the image.
-	d.FlushPair(0, 5, 9, 2)
-	if v, s := d.ImagePair(5); v != 10 || s != 3 {
-		t.Errorf("image regressed to (%d,%d), want (10,3)", v, s)
-	}
-	d.FlushPair(0, 5, 11, 4)
-	if v, s := d.ImagePair(5); v != 11 || s != 4 {
-		t.Errorf("image = (%d,%d), want (11,4)", v, s)
-	}
-}
-
-func TestPairRelaxedPendingDroppedOnCrash(t *testing.T) {
-	d := newDev(t, RelaxedMode)
-	d.FlushPair(0, 1, 1, 1)
-	d.Drain(0)
-	// Pending, never drained: may be kept or dropped at crash, but word 1
-	// (drained) must survive.
-	d.FlushPair(0, 2, 2, 1)
-	d.Crash()
-	if v, s := d.ImagePair(1); v != 1 || s != 1 {
-		t.Errorf("drained pair lost: (%d,%d)", v, s)
-	}
-}
-
-func TestStatsCountPwbPerLine(t *testing.T) {
-	d := newDev(t, StrictMode)
-	d.Flush(0, 0, 1) // 1 line
-	d.Flush(0, 0, LineWords+1)
-	d.Fence(0)
-	s := d.Stats()
-	if s.Pwb != 3 {
-		t.Errorf("Pwb = %d, want 3 (1 + 2 lines)", s.Pwb)
-	}
-	if s.Pfence != 1 {
-		t.Errorf("Pfence = %d, want 1", s.Pfence)
-	}
-	d.ResetStats()
-	if s := d.Stats(); s.Pwb != 0 || s.Pfence != 0 {
-		t.Errorf("ResetStats left %+v", s)
-	}
-}
-
-func TestHookFiresPerEvent(t *testing.T) {
-	d := newDev(t, StrictMode)
-	var evs []Event
-	d.SetHook(func(ev Event) { evs = append(evs, ev) })
-	d.Flush(0, 0, 1)
-	d.Fence(0)
-	d.Drain(0)
-	d.SetHook(nil)
-	d.Flush(0, 0, 1) // not recorded
-	want := []Event{EvPwb, EvFence, EvDrain}
-	if len(evs) != len(want) {
-		t.Fatalf("got %d events, want %d", len(evs), len(want))
-	}
-	for i := range want {
-		if evs[i] != want[i] {
-			t.Errorf("event %d = %v, want %v", i, evs[i], want[i])
-		}
-	}
-}
-
-func TestRawCASAndAdd(t *testing.T) {
-	d := newDev(t, StrictMode)
-	if !d.RawCAS(0, 0, 5) {
-		t.Fatal("CAS from zero failed")
-	}
-	if d.RawCAS(0, 0, 9) {
-		t.Fatal("CAS with stale expectation succeeded")
-	}
-	if got := d.RawAdd(0, 3); got != 8 {
-		t.Fatalf("RawAdd = %d, want 8", got)
-	}
-}
-
-func TestRawRegionAliasesDevice(t *testing.T) {
-	d := newDev(t, StrictMode)
-	r := d.RawRegion(8, 4)
-	r[0].Store(123)
-	if got := d.RawLoad(8); got != 123 {
-		t.Errorf("region store invisible through device: %d", got)
 	}
 }

@@ -12,6 +12,11 @@ import (
 // NVM DIMM after a power loss. The paper emulates NVM with a file in
 // /dev/shm; WriteTo/ReadFrom provide the same file-backed durability for
 // this emulation, letting a heap survive actual process restarts.
+//
+// The format is backend-independent (little-endian, sized header), so a
+// snapshot written by one Device implementation loads into any other with
+// the same region sizes — the conformance suite round-trips images between
+// the simulator and the mmap-backed file device through it.
 const (
 	snapMagic   = 0x0F11E_5AFE
 	snapVersion = 1
@@ -20,23 +25,20 @@ const (
 // ErrBadSnapshot reports a malformed or incompatible snapshot stream.
 var ErrBadSnapshot = errors.New("pmem: bad snapshot")
 
-// WriteTo serialises the device's persistent image. The device must be
-// quiescent. It implements io.WriterTo.
-func (d *Device) WriteTo(w io.Writer) (int64, error) {
+// EncodeImage writes the portable snapshot of a persistent image to w: raw
+// holds the raw-region words, pairs the pair region interleaved as
+// {value, sequence} (2 words per TM word). It returns the bytes written.
+func EncodeImage(w io.Writer, raw, pairs []uint64) (int64, error) {
 	bw := bufio.NewWriter(w)
 	cw := &countWriter{w: bw}
-	hdr := []uint64{snapMagic, snapVersion, uint64(len(d.rawImg)), uint64(len(d.pairVal))}
+	hdr := []uint64{snapMagic, snapVersion, uint64(len(raw)), uint64(len(pairs) / 2)}
 	for _, h := range hdr {
 		if err := binary.Write(cw, binary.LittleEndian, h); err != nil {
 			return cw.n, err
 		}
 	}
-	if err := binary.Write(cw, binary.LittleEndian, d.rawImg); err != nil {
+	if err := binary.Write(cw, binary.LittleEndian, raw); err != nil {
 		return cw.n, err
-	}
-	pairs := make([]uint64, 2*len(d.pairVal))
-	for i := range d.pairVal {
-		pairs[2*i], pairs[2*i+1] = d.pairVal[i], d.pairSeq[i]
 	}
 	if err := binary.Write(cw, binary.LittleEndian, pairs); err != nil {
 		return cw.n, err
@@ -44,10 +46,9 @@ func (d *Device) WriteTo(w io.Writer) (int64, error) {
 	return cw.n, bw.Flush()
 }
 
-// ReadFrom loads a snapshot into the device (which must have matching
-// region sizes and be quiescent) and resets the volatile state to the
-// image, as after Crash. It implements io.ReaderFrom.
-func (d *Device) ReadFrom(r io.Reader) (int64, error) {
+// DecodeImage reads a snapshot from r into raw and pairs (same layout as
+// EncodeImage). The destination sizes must match the stream's header.
+func DecodeImage(r io.Reader, raw, pairs []uint64) (int64, error) {
 	br := bufio.NewReader(r)
 	cr := &countReader{r: br}
 	var hdr [4]uint64
@@ -59,16 +60,37 @@ func (d *Device) ReadFrom(r io.Reader) (int64, error) {
 	if hdr[0] != snapMagic || hdr[1] != snapVersion {
 		return cr.n, fmt.Errorf("%w: magic/version mismatch", ErrBadSnapshot)
 	}
-	if hdr[2] != uint64(len(d.rawImg)) || hdr[3] != uint64(len(d.pairVal)) {
+	if hdr[2] != uint64(len(raw)) || hdr[3] != uint64(len(pairs)/2) {
 		return cr.n, fmt.Errorf("%w: sized for %d/%d words, device has %d/%d",
-			ErrBadSnapshot, hdr[2], hdr[3], len(d.rawImg), len(d.pairVal))
+			ErrBadSnapshot, hdr[2], hdr[3], len(raw), len(pairs)/2)
 	}
-	if err := binary.Read(cr, binary.LittleEndian, d.rawImg); err != nil {
+	if err := binary.Read(cr, binary.LittleEndian, raw); err != nil {
 		return cr.n, err
 	}
-	pairs := make([]uint64, 2*len(d.pairVal))
 	if err := binary.Read(cr, binary.LittleEndian, pairs); err != nil {
 		return cr.n, err
+	}
+	return cr.n, nil
+}
+
+// WriteTo serialises the device's persistent image. The device must be
+// quiescent. It implements io.WriterTo.
+func (d *Sim) WriteTo(w io.Writer) (int64, error) {
+	pairs := make([]uint64, 2*len(d.pairVal))
+	for i := range d.pairVal {
+		pairs[2*i], pairs[2*i+1] = d.pairVal[i], d.pairSeq[i]
+	}
+	return EncodeImage(w, d.rawImg, pairs)
+}
+
+// ReadFrom loads a snapshot into the device (which must have matching
+// region sizes and be quiescent) and resets the volatile state to the
+// image, as after Crash. It implements io.ReaderFrom.
+func (d *Sim) ReadFrom(r io.Reader) (int64, error) {
+	pairs := make([]uint64, 2*len(d.pairVal))
+	n, err := DecodeImage(r, d.rawImg, pairs)
+	if err != nil {
+		return n, err
 	}
 	for i := range d.pairVal {
 		d.pairVal[i], d.pairSeq[i] = pairs[2*i], pairs[2*i+1]
@@ -79,7 +101,7 @@ func (d *Device) ReadFrom(r io.Reader) (int64, error) {
 	for i := range d.rawVol {
 		d.rawVol[i].Store(d.rawImg[i])
 	}
-	return cr.n, nil
+	return n, nil
 }
 
 type countWriter struct {

@@ -71,7 +71,7 @@ type fcReq struct {
 // Engine is a Romulus PTM ("RomulusLog" or "RomulusLR").
 type Engine struct {
 	cfg tm.Config
-	dev *pmem.Device
+	dev pmem.Device
 	lr  bool
 
 	mainBase int
@@ -115,16 +115,16 @@ func DeviceConfig(mode pmem.Mode, seed int64, opts ...tm.Option) pmem.Config {
 }
 
 // NewLog creates or attaches the RomulusLog variant.
-func NewLog(dev *pmem.Device, attach bool, opts ...tm.Option) (*Engine, error) {
+func NewLog(dev pmem.Device, attach bool, opts ...tm.Option) (*Engine, error) {
 	return newEngine(dev, attach, false, opts)
 }
 
 // NewLR creates or attaches the RomulusLR variant (wait-free readers).
-func NewLR(dev *pmem.Device, attach bool, opts ...tm.Option) (*Engine, error) {
+func NewLR(dev pmem.Device, attach bool, opts ...tm.Option) (*Engine, error) {
 	return newEngine(dev, attach, true, opts)
 }
 
-func newEngine(dev *pmem.Device, attach, lr bool, opts []tm.Option) (*Engine, error) {
+func newEngine(dev pmem.Device, attach, lr bool, opts []tm.Option) (*Engine, error) {
 	cfg := tm.Apply(opts)
 	e := &Engine{
 		cfg:      cfg,

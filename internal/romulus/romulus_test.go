@@ -18,7 +18,7 @@ func opts() []tm.Option {
 	}
 }
 
-func newEngines(t *testing.T, mode pmem.Mode, lr bool) (*Engine, *pmem.Device) {
+func newEngines(t *testing.T, mode pmem.Mode, lr bool) (*Engine, pmem.Device) {
 	t.Helper()
 	dev, err := pmem.New(DeviceConfig(mode, 5, opts()...))
 	if err != nil {

@@ -1,0 +1,33 @@
+package testutil
+
+import (
+	"os"
+	"testing"
+)
+
+// TmpfsDir returns a scratch directory for file-backed device tests,
+// preferring memory-backed storage: ONEFILE_FILEDEV_DIR if set, else
+// /dev/shm, else the test's TempDir. The preference matters because the
+// file device issues msync(MS_SYNC) on every fence — on a disk-backed
+// filesystem that turns a crash sweep into an I/O benchmark, while on tmpfs
+// it keeps the exact durability semantics at memory speed (the same
+// NVM-emulation trick as the paper's /dev/shm heaps). The directory is
+// removed when the test finishes.
+func TmpfsDir(tb testing.TB) string {
+	tb.Helper()
+	for _, base := range []string{os.Getenv("ONEFILE_FILEDEV_DIR"), "/dev/shm"} {
+		if base == "" {
+			continue
+		}
+		if st, err := os.Stat(base); err != nil || !st.IsDir() {
+			continue
+		}
+		dir, err := os.MkdirTemp(base, "onefile-test-*")
+		if err != nil {
+			continue
+		}
+		tb.Cleanup(func() { os.RemoveAll(dir) })
+		return dir
+	}
+	return tb.TempDir()
+}

@@ -52,7 +52,7 @@ type readEntry struct {
 // Engine is the PMDK-style undo-log PTM.
 type Engine struct {
 	cfg tm.Config
-	dev *pmem.Device
+	dev pmem.Device
 
 	locks []atomic.Uint64
 	clock atomic.Uint64
@@ -108,7 +108,7 @@ func DeviceConfig(mode pmem.Mode, seed int64, opts ...tm.Option) pmem.Config {
 
 // New creates (attach=false) or recovers (attach=true) an undo-log PTM on
 // dev.
-func New(dev *pmem.Device, attach bool, opts ...tm.Option) (*Engine, error) {
+func New(dev pmem.Device, attach bool, opts ...tm.Option) (*Engine, error) {
 	cfg := tm.Apply(opts)
 	e := &Engine{
 		cfg:    cfg,

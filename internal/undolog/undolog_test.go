@@ -17,7 +17,7 @@ func opts() []tm.Option {
 	}
 }
 
-func newEngine(t *testing.T, mode pmem.Mode) (*Engine, *pmem.Device) {
+func newEngine(t *testing.T, mode pmem.Mode) (*Engine, pmem.Device) {
 	t.Helper()
 	dev, err := pmem.New(DeviceConfig(mode, 3, opts()...))
 	if err != nil {

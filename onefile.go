@@ -39,6 +39,7 @@ import (
 	"onefile/internal/core"
 	"onefile/internal/obs"
 	"onefile/internal/pmem"
+	"onefile/internal/pmem/filedev"
 	"onefile/internal/tm"
 )
 
@@ -120,7 +121,7 @@ const (
 // NVM is an emulated byte-addressable non-volatile memory DIMM sized for
 // OneFile PTM engines created with the same options.
 type NVM struct {
-	dev  *pmem.Device
+	dev  pmem.Device
 	opts []Option
 }
 
@@ -134,6 +135,34 @@ func NewNVM(mode Mode, seed int64, opts ...Option) (*NVM, error) {
 	}
 	return &NVM{dev: dev, opts: opts}, nil
 }
+
+// NewFileNVM opens (or creates, if path does not exist) a real mmap-backed
+// NVM device file — the durable alternative to NewNVM's in-process emulation:
+// the image lives in the file, so it survives process kills and restarts
+// with no snapshot choreography. existed reports whether the file already
+// held a device (pass it to OpenLockFree/OpenWaitFree as attach to recover
+// its contents). opts must match the options the file was created with; a
+// mismatch fails with a size-mismatch error rather than misreading the
+// image. Call Close for an orderly shutdown — a file not Closed is a crash
+// image, which is exactly what recovery is for.
+//
+// mode and seed govern the simulated relaxed-ordering adversary just as in
+// NewNVM; production use is Strict, where every write-back lands in the
+// mapping immediately and every ordering point msyncs.
+func NewFileNVM(path string, mode Mode, seed int64, opts ...Option) (n *NVM, existed bool, err error) {
+	cfg := core.DeviceConfig(pmem.Mode(mode), seed, opts...)
+	dev, created, err := filedev.OpenOrCreate(path, cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	return &NVM{dev: dev, opts: opts}, !created, nil
+}
+
+// Close releases the device. For a file-backed NVM this is the orderly
+// shutdown: buffered write-backs land, the file is msynced and marked
+// clean. The emulated in-memory device has nothing to release. No engine
+// must be in use on the device afterwards.
+func (n *NVM) Close() error { return n.dev.Close() }
 
 // OpenLockFree creates (attach=false) or re-attaches to (attach=true) a
 // lock-free OneFile PTM on the device. Re-attaching runs null recovery.

@@ -3,6 +3,7 @@ package onefile_test
 import (
 	"bytes"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -83,6 +84,59 @@ func Example() {
 	got := e.Read(func(tx onefile.Tx) uint64 { return tx.Load(balance) })
 	fmt.Println(got)
 	// Output: 100
+}
+
+func TestFileNVMReopenCycle(t *testing.T) {
+	// Build a heap on a real device file, Close it, reopen in a "new
+	// process" (a second NVM on the same path), and verify the data came
+	// back through the file — no snapshot choreography involved.
+	path := filepath.Join(t.TempDir(), "heap.img")
+	nvm, existed, err := onefile.NewFileNVM(path, onefile.Strict, 1, small()...)
+	if err != nil {
+		t.Skipf("file-backed NVM unavailable: %v", err)
+	}
+	if existed {
+		t.Fatal("fresh path reported an existing device")
+	}
+	e, err := nvm.OpenLockFree(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := containers.NewQueue(e, 0)
+	for i := uint64(1); i <= 25; i++ {
+		q.Enqueue(i)
+	}
+	if err := nvm.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	nvm2, existed, err := onefile.NewFileNVM(path, onefile.Strict, 1, small()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !existed {
+		t.Fatal("existing device file not recognised")
+	}
+	e2, err := nvm2.OpenLockFree(existed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2 := containers.NewQueue(e2, 0)
+	if q2.Len() != 25 {
+		t.Fatalf("recovered queue length = %d", q2.Len())
+	}
+	if v, ok := q2.Dequeue(); !ok || v != 1 {
+		t.Fatalf("recovered head = %d,%v", v, ok)
+	}
+	if err := nvm2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mismatched sizing options must be rejected, not misread.
+	if _, _, err := onefile.NewFileNVM(path, onefile.Strict, 1,
+		onefile.WithHeapWords(1<<16), onefile.WithMaxThreads(16), onefile.WithMaxStores(1<<10)); err == nil {
+		t.Fatal("reopen with mismatched options succeeded")
+	}
 }
 
 func TestSnapshotAcrossProcessRestart(t *testing.T) {
