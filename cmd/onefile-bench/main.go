@@ -154,6 +154,9 @@ func dispatch(threads []int) error {
 		if err := runBatchFig(); err != nil {
 			return err
 		}
+		if err := runShardsFig(); err != nil {
+			return err
+		}
 		if err := runLatencyObs(); err != nil {
 			return err
 		}
@@ -164,6 +167,9 @@ func dispatch(threads []int) error {
 	}
 	if *figFlag == "batch" {
 		return runBatchFig()
+	}
+	if *figFlag == "shards" {
+		return runShardsFig()
 	}
 	if *latFlag {
 		return runLatencyObs()
@@ -544,6 +550,60 @@ func runBatchFig() error {
 		}
 		row(eng, d, c)
 	}
+	return nil
+}
+
+// runShardsFig is the shard-scaling sweep (-fig shards): the partitioned
+// store (internal/shard) at 1/2/4/8 shards under disjoint-key and
+// 10%-cross-shard mixes, uniform and zipfian. Three views of the same
+// runs: wall-clock ops/s, the aggregate commit-stream rate (summed curTx
+// advances — one serial stream per shard engine), and the stream
+// parallelism (aggregate over busiest stream, which approaches the shard
+// count on disjoint keys regardless of host width; on a single-core host
+// ops/s stays flat and the parallelism column carries the scaling story —
+// see the EXPERIMENTS.md caveat).
+func runShardsFig() error {
+	counts := bench.ShardCounts
+	cfg := bench.ShardSweepConfig{
+		Workers:  8,
+		Entries:  1024,
+		Duration: *durFlag,
+		Reps:     *repsFlag,
+	}
+	if *quickFlag {
+		counts = []int{1, 2, 4}
+	}
+	type key struct{ eng, mix string }
+	points := map[key][]bench.ShardPoint{}
+	for _, eng := range bench.ShardBenchEngines {
+		for _, mix := range bench.ShardMixes {
+			ps, err := bench.ShardScalingSweep(eng, mix, counts, cfg)
+			if err != nil {
+				return err
+			}
+			points[key{eng, mix.Name}] = ps
+		}
+	}
+	emit := func(figName, title, format string, get func(bench.ShardPoint) float64) {
+		figure(figName, "shards")
+		header(title, labels("s=", counts)...)
+		for _, eng := range bench.ShardBenchEngines {
+			for _, mix := range bench.ShardMixes {
+				ps := points[key{eng, mix.Name}]
+				vals := make([]float64, len(ps))
+				for i, p := range ps {
+					vals[i] = get(p)
+				}
+				rowf(eng+"/"+mix.Name, format, vals...)
+			}
+		}
+	}
+	emit("shards-throughput", fmt.Sprintf("Shards: store ops/s — %d workers, hash-partitioned", cfg.Workers),
+		"%12.0f", func(p bench.ShardPoint) float64 { return p.OpsPerSec })
+	emit("shards-streams", "Shards: aggregate commit-stream rate (curTx advances/s)",
+		"%12.0f", func(p bench.ShardPoint) float64 { return p.StreamRate })
+	emit("shards-parallelism", "Shards: independent commit streams (aggregate/busiest curTx advances)",
+		"%12.2f", func(p bench.ShardPoint) float64 { return p.Parallelism })
 	return nil
 }
 

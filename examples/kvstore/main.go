@@ -26,6 +26,18 @@
 //
 //	go run ./examples/kvstore -serve :8080
 //	curl localhost:8080/metrics
+//
+// With -shards N the store is hash-partitioned over N independent engines:
+// each key's index lives on its home shard (one serial commit stream per
+// shard), per-shard balance pots are moved between shards with atomic
+// cross-shard transactions, and -serve scrapes every shard's metrics under
+// its own onefile_of_lf_ptm_shardI prefix. Combined with -file, PATH names
+// a directory holding one device image per shard, recovered — cross-shard
+// transfers included — on the next run:
+//
+//	go run ./examples/kvstore -shards 4
+//	go run ./examples/kvstore -shards 4 -file /tmp/kvshards
+//	go run ./examples/kvstore -shards 4 -serve :8080
 package main
 
 import (
@@ -42,7 +54,9 @@ var (
 	serveAddr = flag.String("serve", "",
 		"serve /metrics, /debug/vars and /debug/flightrecorder on this address while running a continuous workload")
 	filePath = flag.String("file", "",
-		"back the store with an mmap device file at this path: state persists across runs, and killing the process mid-run leaves a crash image the next run recovers")
+		"back the store with an mmap device file at this path: state persists across runs, and killing the process mid-run leaves a crash image the next run recovers (with -shards, a directory of per-shard files)")
+	numShards = flag.Int("shards", 1,
+		"partition the store over this many engines (hash on key); > 1 runs the sharded demo with cross-shard transfers")
 )
 
 const valueBits = 24
@@ -161,8 +175,155 @@ func serve(kv *store, e onefile.Engine, addr string) {
 	log.Fatal(http.ListenAndServe(addr, mux))
 }
 
+// shardedMain is the -shards N demo: a hash-partitioned store whose keys
+// each live on their home shard's index, with a per-shard balance pot
+// (root 3) moved between shards by atomic cross-shard transactions.
+func shardedMain(n int) {
+	opts := []onefile.Option{onefile.WithHeapWords(1 << 17)}
+	var (
+		st      *onefile.ShardedStore
+		existed bool
+		err     error
+	)
+	if *filePath != "" {
+		st, existed, err = onefile.OpenShardedTM(*filePath, n, false, onefile.Strict, 7, nil, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if existed {
+			fmt.Printf("recovering %d-shard store from %s\n", n, *filePath)
+		} else {
+			fmt.Printf("created %d-shard store under %s\n", n, *filePath)
+		}
+	} else {
+		if st, err = onefile.NewShardedTM(n, false, nil, opts...); err != nil {
+			log.Fatal(err)
+		}
+	}
+	defer st.Close()
+
+	// One kv index per shard, each on its own engine; key k routes to
+	// subs[st.ShardFor(k)].
+	subs := make([]*store, n)
+	for i := range subs {
+		subs[i] = open(st.Engine(i))
+	}
+	pot := onefile.Root(3)
+
+	if *serveAddr != "" {
+		serveSharded(st, subs, *serveAddr)
+		return
+	}
+
+	if !existed {
+		for i := uint64(1); i <= 500; i++ {
+			subs[st.ShardFor(i)].Put(i, i*i%1000)
+		}
+		// Seed every shard's pot with 1000 on its own engine.
+		for s := 0; s < n; s++ {
+			st.UpdateOn(s, func(tx onefile.Tx) uint64 {
+				tx.Store(pot, 1000)
+				return 0
+			})
+		}
+	}
+	perShard := make([]int, n)
+	for i := uint64(1); i <= 500; i++ {
+		perShard[st.ShardFor(i)]++
+		if v, ok := subs[st.ShardFor(i)].Get(i); !ok || v != i*i%1000 {
+			log.Fatalf("key %d: Get = %d,%v", i, v, ok)
+		}
+	}
+	fmt.Printf("500 keys hash-partitioned over %d shards: %v\n", n, perShard)
+
+	// Atomic cross-shard transfers: move 250 around the ring of pots. A
+	// crash at any point (kill -9 a -file run here) either leaves a
+	// transfer fully applied or not at all — never half. UpdateCross
+	// declares shards by key, so pick one representative key per shard.
+	keyFor := shardKeys(st)
+	for s := 0; s < n; s++ {
+		d := (s + 1) % n
+		if _, err := st.UpdateCross([]uint64{keyFor[s], keyFor[d]}, func(m onefile.MultiTx) uint64 {
+			m.Store(s, pot, m.Load(s, pot)-250)
+			m.Store(d, pot, m.Load(d, pot)+250)
+			return 0
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	total := uint64(0)
+	for s := 0; s < n; s++ {
+		v := st.ReadOn(s, func(tx onefile.Tx) uint64 { return tx.Load(pot) })
+		fmt.Printf("  shard %d pot = %d\n", s, v)
+		total += v
+	}
+	fmt.Printf("pots total %d — conserved across %d cross-shard transfers", total, st.CrossStats().Cross)
+	if *filePath != "" {
+		// Durable 2PC commits consume epoch tickets; recovery resumes the
+		// counter past every epoch any shard recorded.
+		fmt.Printf(" (epoch %d)", st.Epoch())
+	}
+	fmt.Println()
+}
+
+// shardKeys returns one representative key per shard (the smallest key
+// hashing there) — the handles cross-shard transactions declare shards by.
+func shardKeys(st *onefile.ShardedStore) []uint64 {
+	out := make([]uint64, st.Shards())
+	found := make([]bool, st.Shards())
+	for k, left := uint64(0), st.Shards(); left > 0; k++ {
+		if s := st.ShardFor(k); !found[s] {
+			found[s], out[s] = true, k
+			left--
+		}
+	}
+	return out
+}
+
+// serveSharded registers every shard's metrics and keeps a mixed workload
+// running: routed puts/gets on each key's home shard plus a trickle of
+// cross-shard pot transfers, so the per-shard families and the cross-shard
+// counters all move.
+func serveSharded(st *onefile.ShardedStore, subs []*store, addr string) {
+	reg := onefile.NewMetricsRegistry()
+	if ms := onefile.RegisterShardedMetrics(reg, st); len(ms) != len(subs) {
+		log.Fatal("shard metrics registration failed")
+	}
+	pot := onefile.Root(3)
+	keyFor := shardKeys(st)
+	go func() {
+		const keys = 2000
+		n := len(subs)
+		for i := uint64(1); ; i++ {
+			k := i%keys + 1
+			subs[st.ShardFor(k)].Put(k, i%1000)
+			g := (i * 7) % keys
+			subs[st.ShardFor(g)].Get(g)
+			if i%32 == 0 && n > 1 {
+				a := int(i % uint64(n))
+				b := (a + 1) % n
+				if _, err := st.UpdateCross([]uint64{keyFor[a], keyFor[b]}, func(m onefile.MultiTx) uint64 {
+					m.Store(a, pot, m.Load(a, pot)-1)
+					m.Store(b, pot, m.Load(b, pot)+1)
+					return 0
+				}); err != nil {
+					log.Fatalf("cross-shard transfer: %v", err)
+				}
+			}
+		}
+	}()
+	mux := http.NewServeMux()
+	reg.Mount(mux)
+	log.Printf("kvstore: serving %d-shard /metrics, /debug/vars, /debug/flightrecorder on %s", len(subs), addr)
+	log.Fatal(http.ListenAndServe(addr, mux))
+}
+
 func main() {
 	flag.Parse()
+	if *numShards > 1 {
+		shardedMain(*numShards)
+		return
+	}
 	var (
 		nvm     *onefile.NVM
 		existed bool

@@ -1,0 +1,245 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"onefile/internal/core"
+	"onefile/internal/pmem"
+	"onefile/internal/shard"
+	"onefile/internal/tm"
+)
+
+// This file is the shard-scaling sweep (-fig shards): throughput and
+// commit-stream rates of the partitioned store (internal/shard) as the
+// shard count grows, under disjoint-key and 10%-cross-shard mixes with
+// uniform and zipfian key skew.
+//
+// What it demonstrates is the structural claim of the sharding layer:
+// OneFile has ONE serial commit stream per engine, so an N-shard store has
+// N of them. Wall-clock throughput can only show that with real cores
+// (GOMAXPROCS > 1); on a single-core host every stream shares the one CPU
+// and aggregate ops/s stays flat. The sweep therefore also reports the
+// commit-stream decomposition measured from the engines themselves — each
+// shard's curTx advance count — and the stream parallelism (aggregate
+// advances over the busiest single stream): on a disjoint-key workload
+// over S shards that ratio approaches S regardless of host width, because
+// it counts independent serial streams, not cycles.
+
+// ShardBenchEngines are the engine flavours the shards sweep runs: the
+// volatile lock-free engine and the headline persistent one (simulated
+// strict device per shard).
+var ShardBenchEngines = []string{"OF-LF", "OF-LF-PTM"}
+
+// ShardCounts is the default shard-count axis of the sweep.
+var ShardCounts = []int{1, 2, 4, 8}
+
+// ShardMix names one workload mix of the sweep.
+type ShardMix struct {
+	Name     string
+	CrossPct int  // percentage of transactions spanning two shards
+	Zipf     bool // zipfian (skewed) vs uniform key choice
+}
+
+// ShardMixes are the swept mixes: disjoint-key uniform (the scaling
+// headline), 10% two-shard transactions (2PC cost), and both again under
+// zipfian skew (hot keys concentrate on few shards).
+var ShardMixes = []ShardMix{
+	{"disjoint", 0, false},
+	{"cross10", 10, false},
+	{"zipf", 0, true},
+	{"cross10-zipf", 10, true},
+}
+
+// ShardSweepConfig parameterises one engine's shard-scaling sweep.
+type ShardSweepConfig struct {
+	Workers  int // concurrent client goroutines (fixed across shard counts)
+	Entries  int // per-shard array entries (keyspace = Entries × shards)
+	Duration time.Duration
+	Reps     int // interleaved measurements per point; medians reported
+}
+
+// ShardPoint is one measured (mix, shard count) data point.
+type ShardPoint struct {
+	Shards      int
+	OpsPerSec   float64 // committed store operations per second (wall clock)
+	StreamRate  float64 // aggregate curTx advances per second across shards
+	Parallelism float64 // aggregate advances / busiest single stream (≤ Shards)
+}
+
+// ShardScalingSweep measures mix on engine at each shard count. Like the
+// fig-13 sweep, repetitions are interleaved across the shard counts and
+// each point reports per-metric medians, so host-load drift lands on all
+// points instead of distorting one.
+func ShardScalingSweep(engine string, mix ShardMix, counts []int, cfg ShardSweepConfig) ([]ShardPoint, error) {
+	reps := cfg.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	samples := make([][]ShardPoint, len(counts))
+	for r := 0; r < reps; r++ {
+		for i, n := range counts {
+			p, err := shardMixPoint(engine, mix, n, cfg)
+			if err != nil {
+				return nil, err
+			}
+			samples[i] = append(samples[i], p)
+		}
+	}
+	out := make([]ShardPoint, len(counts))
+	for i, s := range samples {
+		ops := make([]float64, len(s))
+		str := make([]float64, len(s))
+		par := make([]float64, len(s))
+		for j, p := range s {
+			ops[j], str[j], par[j] = p.OpsPerSec, p.StreamRate, p.Parallelism
+		}
+		out[i] = ShardPoint{
+			Shards: counts[i], OpsPerSec: median(ops),
+			StreamRate: median(str), Parallelism: median(par),
+		}
+	}
+	return out, nil
+}
+
+func shardBenchOpts() []tm.Option {
+	return []tm.Option{
+		tm.WithHeapWords(1 << 16),
+		tm.WithMaxThreads(64),
+		tm.WithMaxStores(1 << 10),
+	}
+}
+
+// newShardStore builds an n-shard store of the named engine flavour with
+// default hash partitioning.
+func newShardStore(engine string, n int) (*shard.Store, error) {
+	opts := shardBenchOpts()
+	switch engine {
+	case "OF-LF", "OF-WF":
+		return shard.NewVolatile(n, engine == "OF-WF", nil, opts...)
+	case "OF-LF-PTM", "OF-WF-PTM":
+		devs := make([]pmem.Device, n)
+		for i := range devs {
+			d, err := pmem.New(core.DeviceConfig(pmem.StrictMode, int64(i+1), opts...))
+			if err != nil {
+				return nil, err
+			}
+			devs[i] = d
+		}
+		return shard.NewPersistent(devs, engine == "OF-WF-PTM", false, nil, opts...)
+	}
+	return nil, fmt.Errorf("bench: unknown shard engine %q", engine)
+}
+
+// shardMixPoint measures one (engine, mix, shard count) point: Workers
+// goroutines issue keyed transactions — swaps of two array words on the
+// key's home shard, or (CrossPct% of the time) a two-shard transfer —
+// for Duration, then the engines' curTx deltas give the stream metrics.
+func shardMixPoint(engine string, mix ShardMix, shards int, cfg ShardSweepConfig) (ShardPoint, error) {
+	st, err := newShardStore(engine, shards)
+	if err != nil {
+		return ShardPoint{}, err
+	}
+	defer st.Close()
+
+	// Per-shard array backing the keyspace; key k lives at word
+	// bases[home(k)] + k%Entries.
+	bases := make([]tm.Ptr, shards)
+	for s := 0; s < shards; s++ {
+		bases[s] = tm.Ptr(st.UpdateOn(s, func(tx tm.Tx) uint64 {
+			p := tx.Alloc(cfg.Entries)
+			tx.Store(tm.Root(0), uint64(p))
+			return uint64(p)
+		}))
+	}
+	keyspace := uint64(cfg.Entries * shards)
+
+	before := make([]uint64, shards)
+	for s := range before {
+		before[s] = st.Engine(s).CurSeq()
+	}
+
+	var ops atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var zipf *rand.Zipf
+			if mix.Zipf {
+				zipf = rand.NewZipf(rng, 1.2, 1, keyspace-1)
+			}
+			pick := func() uint64 {
+				if zipf != nil {
+					return zipf.Uint64()
+				}
+				return rng.Uint64() % keyspace
+			}
+			word := func(k uint64) tm.Ptr {
+				return bases[st.ShardFor(k)] + tm.Ptr(k%uint64(cfg.Entries))
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := pick()
+				if mix.CrossPct > 0 && rng.Intn(100) < mix.CrossPct {
+					k2 := pick()
+					for try := 0; try < 8 && st.ShardFor(k2) == st.ShardFor(k); try++ {
+						k2 = pick()
+					}
+					sa, sb := st.ShardFor(k), st.ShardFor(k2)
+					wa, wb := word(k), word(k2)
+					if _, err := st.UpdateCross([]uint64{k, k2}, func(m tm.MultiTx) uint64 {
+						m.Store(sa, wa, m.Load(sa, wa)-1)
+						m.Store(sb, wb, m.Load(sb, wb)+1)
+						return 0
+					}); err != nil {
+						panic(err)
+					}
+				} else {
+					base := bases[st.ShardFor(k)]
+					i := base + tm.Ptr(k%uint64(cfg.Entries))
+					j := base + tm.Ptr((k*2654435761+1)%uint64(cfg.Entries))
+					st.Update(k, func(tx tm.Tx) uint64 {
+						a, b := tx.Load(i), tx.Load(j)
+						tx.Store(i, b)
+						tx.Store(j, a)
+						return 0
+					})
+				}
+				ops.Add(1)
+			}
+		}(int64(w + 1))
+	}
+	time.Sleep(cfg.Duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	var total, busiest uint64
+	for s := 0; s < shards; s++ {
+		adv := st.Engine(s).CurSeq() - before[s]
+		total += adv
+		if adv > busiest {
+			busiest = adv
+		}
+	}
+	p := ShardPoint{
+		Shards:     shards,
+		OpsPerSec:  float64(ops.Load()) / elapsed,
+		StreamRate: float64(total) / elapsed,
+	}
+	if busiest > 0 {
+		p.Parallelism = float64(total) / float64(busiest)
+	}
+	return p, nil
+}

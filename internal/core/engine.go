@@ -199,6 +199,11 @@ type Engine struct {
 	// pointer per transaction.
 	obsv atomic.Pointer[EngineObs]
 
+	// excl is the exclusivity gate (exclusive.go): the prepare/decide
+	// hook the sharded store's cross-shard commit protocol runs on. The
+	// ungated hot path pays one load of excl.gate per acquire.
+	excl exclusive
+
 	// The two globally contended words, each padded onto its own line.
 	_         [64]byte
 	curTx     atomic.Uint64
@@ -283,6 +288,7 @@ func newEngine(cfg tm.Config, waitFree bool, dev pmem.Device, attach bool) (*Eng
 		curTxImg: cfg.HeapWords,
 	}
 	e.cm.init(runtime.GOMAXPROCS(0))
+	e.excl.init()
 	e.resultsBase = talloc.MetaBase + talloc.MetaWords
 	e.dynBase = e.resultsBase + tm.Ptr(2*cfg.MaxThreads)
 	if int(e.dynBase)+64 > cfg.HeapWords {
@@ -447,6 +453,9 @@ func (e *Engine) DynBase() tm.Ptr { return e.dynBase }
 func (e *Engine) Close() error {
 	e.closed.Store(true)
 	e.wakeAll()
+	// Wake acquirers parked on the exclusivity gate (exclusive.go): they
+	// re-check closed and fail fast.
+	e.gateBroadcast()
 	// Fail queued combiner submissions: their submitters are parked on
 	// futures, not on the slot wait list, so the wake-all above cannot
 	// reach them (combine.go).
@@ -472,7 +481,18 @@ func (e *Engine) Recover() error {
 // the engine's wait list until a release wakes it, so goroutines beyond
 // MaxThreads sleep instead of timeslicing against the workers they are
 // waiting on. Transactions begun after Close fail fast.
-func (e *Engine) acquire() *slot {
+func (e *Engine) acquire() *slot { return e.acquireG(false) }
+
+// acquireG is acquire with an explicit gate policy: the exclusivity
+// holder's own transactions (UpdateExclusive) bypass the gate, everyone
+// else backs off a claimed slot the moment the gate is observed closed and
+// parks until it reopens (exclusive.go). The gate check is one load of a
+// padded atomic after the claim CAS — the ungated fast path cost. A parked
+// acquirer may return from gateWait holding an anti-starvation pass: its
+// next successful claim skips the gate check, and the pass count is
+// decremented only after that claim CAS so the exclusive drain orders
+// itself behind the claim.
+func (e *Engine) acquireG(bypassGate bool) *slot {
 	if e.closed.Load() {
 		panic(tm.ErrEngineClosed)
 	}
@@ -481,10 +501,19 @@ func (e *Engine) acquire() *slot {
 	// wrapped (or 32-bit-truncated) counter must never reach Go's signed %
 	// negative, which would yield a negative slot index.
 	start := int(e.claimHint.Add(1) % uint32(n))
+	pass := false
 	for {
 		budget := int(e.cm.spinBudget.Load())
 		for spin := 0; spin <= budget; spin++ {
 			if s := e.tryClaim(start); s != nil {
+				if !bypassGate && !pass && e.excl.gate.v.Load() != 0 {
+					e.unclaim(s)
+					pass = e.gateWait()
+					continue
+				}
+				if pass {
+					e.excl.passes.Add(-1)
+				}
 				return s
 			}
 			if e.closed.Load() {
@@ -493,6 +522,14 @@ func (e *Engine) acquire() *slot {
 			runtime.Gosched()
 		}
 		if s := e.park(start); s != nil {
+			if !bypassGate && !pass && e.excl.gate.v.Load() != 0 {
+				e.unclaim(s)
+				pass = e.gateWait()
+				continue
+			}
+			if pass {
+				e.excl.passes.Add(-1)
+			}
 			return s
 		}
 	}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"onefile/internal/pmem"
+	"onefile/internal/tm"
+)
+
+func exclusiveEngines(t *testing.T) map[string]*Engine {
+	t.Helper()
+	opts := []tm.Option{tm.WithHeapWords(1 << 12), tm.WithMaxThreads(8)}
+	out := map[string]*Engine{
+		"OF-LF": NewLF(opts...),
+		"OF-WF": NewWF(opts...),
+	}
+	dev, err := pmem.New(DeviceConfig(pmem.StrictMode, 1, opts...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewPersistentLF(dev, false, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["OF-LF-PTM"] = e
+	return out
+}
+
+// TestExclusiveBlocksUpdates: a transaction begun while the gate is closed
+// must not run until EndExclusive.
+func TestExclusiveBlocksUpdates(t *testing.T) {
+	for name, e := range exclusiveEngines(t) {
+		t.Run(name, func(t *testing.T) {
+			defer e.Close()
+			cnt := tm.Root(0)
+			e.BeginExclusive()
+			started := make(chan struct{})
+			done := make(chan struct{})
+			go func() {
+				close(started)
+				e.Update(func(tx tm.Tx) uint64 {
+					tx.Store(cnt, tx.Load(cnt)+1)
+					return 0
+				})
+				close(done)
+			}()
+			<-started
+			time.Sleep(10 * time.Millisecond)
+			select {
+			case <-done:
+				t.Fatal("update ran while the gate was closed")
+			default:
+			}
+			if got := e.LoadDirect(cnt); got != 0 {
+				t.Fatalf("LoadDirect = %d before any commit", got)
+			}
+			e.EndExclusive()
+			<-done
+			if got := e.Read(func(tx tm.Tx) uint64 { return tx.Load(cnt) }); got != 1 {
+				t.Fatalf("counter = %d after gated update, want 1", got)
+			}
+		})
+	}
+}
+
+// TestExclusiveDrainWaits: BeginExclusive must not return while a
+// transaction is still running.
+func TestExclusiveDrainWaits(t *testing.T) {
+	e := NewLF(tm.WithHeapWords(1 << 12))
+	defer e.Close()
+	inBody := make(chan struct{})
+	releaseBody := make(chan struct{})
+	var once sync.Once
+	go e.Update(func(tx tm.Tx) uint64 {
+		once.Do(func() { close(inBody) })
+		<-releaseBody
+		tx.Store(tm.Root(0), 7)
+		return 0
+	})
+	<-inBody
+	acquired := make(chan struct{})
+	go func() {
+		e.BeginExclusive()
+		close(acquired)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-acquired:
+		t.Fatal("BeginExclusive returned with a transaction in flight")
+	default:
+	}
+	close(releaseBody)
+	<-acquired
+	// The drained engine has fully applied the committed store.
+	if got := e.LoadDirect(tm.Root(0)); got != 7 {
+		t.Fatalf("LoadDirect = %d after drain, want 7", got)
+	}
+	e.EndExclusive()
+}
+
+// TestUpdateExclusive: the holder's transactions run on the regular commit
+// path and advance the sequence.
+func TestUpdateExclusive(t *testing.T) {
+	for name, e := range exclusiveEngines(t) {
+		t.Run(name, func(t *testing.T) {
+			defer e.Close()
+			e.BeginExclusive()
+			before := e.CurSeq()
+			res := e.UpdateExclusive(func(tx tm.Tx) uint64 {
+				tx.Store(tm.Root(1), 42)
+				return 99
+			})
+			if res != 99 {
+				t.Fatalf("UpdateExclusive result = %d, want 99", res)
+			}
+			if e.CurSeq() != before+1 {
+				t.Fatalf("CurSeq advanced %d, want 1", e.CurSeq()-before)
+			}
+			if got := e.LoadDirect(tm.Root(1)); got != 42 {
+				t.Fatalf("LoadDirect = %d, want 42", got)
+			}
+			e.EndExclusive()
+			if got := e.Read(func(tx tm.Tx) uint64 { return tx.Load(tm.Root(1)) }); got != 42 {
+				t.Fatalf("Read after EndExclusive = %d, want 42", got)
+			}
+		})
+	}
+}
+
+// TestExclusiveHoldersSerialize: a second BeginExclusive waits for the
+// first EndExclusive.
+func TestExclusiveHoldersSerialize(t *testing.T) {
+	e := NewLF(tm.WithHeapWords(1 << 12))
+	defer e.Close()
+	e.BeginExclusive()
+	second := make(chan struct{})
+	go func() {
+		e.BeginExclusive()
+		e.EndExclusive()
+		close(second)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-second:
+		t.Fatal("second BeginExclusive acquired concurrently")
+	default:
+	}
+	e.EndExclusive()
+	<-second
+}
+
+// TestExclusiveCloseWakesGateWaiters: Close while goroutines are parked on
+// the gate fails them fast with ErrEngineClosed.
+func TestExclusiveCloseWakesGateWaiters(t *testing.T) {
+	e := NewLF(tm.WithHeapWords(1 << 12))
+	e.BeginExclusive()
+	errs := make(chan any, 1)
+	started := make(chan struct{})
+	go func() {
+		defer func() { errs <- recover() }()
+		close(started)
+		e.Update(func(tx tm.Tx) uint64 { return 0 })
+	}()
+	<-started
+	time.Sleep(10 * time.Millisecond)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := <-errs
+	err, ok := r.(error)
+	if !ok || !errors.Is(err, tm.ErrEngineClosed) {
+		t.Fatalf("gated waiter recovered %v, want ErrEngineClosed", r)
+	}
+	e.EndExclusive()
+}
+
+// TestExclusiveRaceCounter hammers Update workers against repeated
+// exclusive sections; the final count must be exact and every LoadDirect
+// observation made under exclusivity must be a committed (monotonic)
+// value.
+func TestExclusiveRaceCounter(t *testing.T) {
+	for name, e := range exclusiveEngines(t) {
+		t.Run(name, func(t *testing.T) {
+			defer e.Close()
+			cnt := tm.Root(0)
+			const workers = 8
+			const perWorker = 200
+			var wg sync.WaitGroup
+			var stop atomic.Bool
+			wg.Add(workers)
+			for w := 0; w < workers; w++ {
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perWorker; i++ {
+						e.Update(func(tx tm.Tx) uint64 {
+							tx.Store(cnt, tx.Load(cnt)+1)
+							return 0
+						})
+					}
+				}()
+			}
+			exclSections := 0
+			var last uint64
+			for !stop.Load() {
+				e.BeginExclusive()
+				v := e.LoadDirect(cnt)
+				if v < last {
+					t.Errorf("LoadDirect went backwards: %d after %d", v, last)
+				}
+				last = v
+				// An exclusive-path write interleaved with the workers.
+				e.UpdateExclusive(func(tx tm.Tx) uint64 {
+					tx.Store(tm.Root(2), v)
+					return 0
+				})
+				e.EndExclusive()
+				exclSections++
+				if v == workers*perWorker {
+					stop.Store(true)
+				}
+			}
+			wg.Wait()
+			got := e.Read(func(tx tm.Tx) uint64 { return tx.Load(cnt) })
+			if got != workers*perWorker {
+				t.Fatalf("counter = %d, want %d (after %d exclusive sections)",
+					got, workers*perWorker, exclSections)
+			}
+		})
+	}
+}

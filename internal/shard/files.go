@@ -1,0 +1,67 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"onefile/internal/core"
+	"onefile/internal/pmem"
+	"onefile/internal/pmem/filedev"
+	"onefile/internal/tm"
+)
+
+// shardFile names shard i's device file inside dir.
+func shardFile(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d.img", i))
+}
+
+// OpenFiles opens (or creates) a sharded store persisted as one mmap
+// device file per shard under dir: dir/shard-000.img, dir/shard-001.img, …
+// existed reports whether the files already held a store, in which case it
+// was recovered — including resolution of any cross-shard transaction
+// in doubt at the crash. A directory holding only some of the n files is
+// rejected: recovery of an in-doubt shard needs its coordinator's device,
+// so a partial shard set cannot be attached safely.
+func OpenFiles(dir string, n int, waitFree bool, mode pmem.Mode, seed int64, part Partitioner, opts ...tm.Option) (st *Store, existed bool, err error) {
+	part, err = validate(n, part)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, false, err
+	}
+	present := 0
+	for i := 0; i < n; i++ {
+		if _, err := os.Stat(shardFile(dir, i)); err == nil {
+			present++
+		}
+	}
+	if present != 0 && present != n {
+		return nil, false, fmt.Errorf("shard: %s holds %d of %d shard files — refusing to attach a partial store", dir, present, n)
+	}
+	cfg := core.DeviceConfig(mode, seed, opts...)
+	devs := make([]pmem.Device, 0, n)
+	closeAll := func() {
+		for _, d := range devs {
+			d.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		dev, _, err := filedev.OpenOrCreate(shardFile(dir, i), cfg)
+		if err != nil {
+			closeAll()
+			return nil, false, fmt.Errorf("shard %d: %w", i, err)
+		}
+		devs = append(devs, dev)
+	}
+	st, err = NewPersistent(devs, waitFree, present == n, part, opts...)
+	if err != nil {
+		closeAll()
+		return nil, false, err
+	}
+	// The store owns devices it opened itself: Close closes them too (an
+	// orderly shutdown marks each file clean; see internal/pmem/filedev).
+	st.devs = devs
+	return st, present == n, nil
+}

@@ -1,0 +1,81 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Partitioner maps user keys to shard indices. Implementations must be
+// pure functions of the key: a key's home shard is part of the data
+// layout, so it must be identical across restarts of a persistent store.
+type Partitioner interface {
+	// Shard returns the home shard of key, in [0, Shards()).
+	Shard(key uint64) int
+	// Shards returns the partition count the mapping was built for.
+	Shards() int
+}
+
+// Hash partitions keys by a mixed hash, spreading adjacent keys across all
+// shards. The mix is the 64-bit finalizer of MurmurHash3: without it,
+// sequential keys with a power-of-two shard count would all land by their
+// low bits, and any stride equal to the shard count would pin one shard.
+type Hash struct {
+	n int
+}
+
+// NewHash returns a hash partitioner over n shards. n must be positive.
+func NewHash(n int) Hash {
+	if n <= 0 {
+		panic(fmt.Errorf("shard: partitioner needs a positive shard count, got %d", n))
+	}
+	return Hash{n: n}
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Shard implements Partitioner. The reduction happens entirely in unsigned
+// space before the int conversion — the same discipline as the engine's
+// claim hint: a mixed value with the top bit set must never reach a signed
+// modulo, which would produce a negative shard index.
+func (h Hash) Shard(key uint64) int { return int(mix64(key) % uint64(h.n)) }
+
+// Shards implements Partitioner.
+func (h Hash) Shards() int { return h.n }
+
+// Range partitions the key space into contiguous intervals: shard i owns
+// [bounds[i-1], bounds[i]), with shard 0 owning everything below bounds[0]
+// and the last shard everything from the last bound up to and including
+// ^uint64(0). A key exactly at a bound belongs to the shard to its right.
+type Range struct {
+	bounds []uint64 // strictly increasing; len(bounds) == Shards()-1
+}
+
+// NewRange returns a range partitioner with the given interval bounds
+// (strictly increasing, non-empty ⇒ at least two shards). A store with
+// n shards needs exactly n-1 bounds.
+func NewRange(bounds []uint64) Range {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Errorf("shard: range bounds must be strictly increasing, got %d after %d",
+				bounds[i], bounds[i-1]))
+		}
+	}
+	b := make([]uint64, len(bounds))
+	copy(b, bounds)
+	return Range{bounds: b}
+}
+
+// Shard implements Partitioner: the number of bounds at or below key.
+func (r Range) Shard(key uint64) int {
+	return sort.Search(len(r.bounds), func(i int) bool { return key < r.bounds[i] })
+}
+
+// Shards implements Partitioner.
+func (r Range) Shards() int { return len(r.bounds) + 1 }

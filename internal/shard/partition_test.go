@@ -1,0 +1,123 @@
+package shard
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHashShardRange: every key — including the wrap/boundary class that
+// bit the engine's claim hint in PR 4 — must land in [0, n) for shard
+// counts that are and are not powers of two.
+func TestHashShardRange(t *testing.T) {
+	keys := []uint64{
+		0, 1, 2, 63, 64, 65,
+		math.MaxUint64, math.MaxUint64 - 1,
+		1 << 63, (1 << 63) - 1, 1<<63 + 1,
+		math.MaxUint32, math.MaxUint32 + 1,
+		0xDEADBEEF, 0x8000000000000000,
+	}
+	for _, n := range []int{1, 2, 3, 4, 7, 8, 64} {
+		h := NewHash(n)
+		if h.Shards() != n {
+			t.Fatalf("Shards() = %d, want %d", h.Shards(), n)
+		}
+		for _, k := range keys {
+			s := h.Shard(k)
+			if s < 0 || s >= n {
+				t.Fatalf("Hash(%d shards).Shard(%#x) = %d, out of range", n, k, s)
+			}
+			if s2 := h.Shard(k); s2 != s {
+				t.Fatalf("Shard(%#x) not deterministic: %d then %d", k, s, s2)
+			}
+		}
+	}
+}
+
+// TestHashSpreadsSequentialKeys: sequential keys must not pin one shard
+// (the reason for the mix function).
+func TestHashSpreadsSequentialKeys(t *testing.T) {
+	const n = 4
+	h := NewHash(n)
+	var counts [n]int
+	for k := uint64(0); k < 4096; k++ {
+		counts[h.Shard(k)]++
+	}
+	for i, c := range counts {
+		if c < 4096/n/2 || c > 4096/n*2 {
+			t.Fatalf("shard %d got %d of 4096 sequential keys (counts %v)", i, c, counts)
+		}
+	}
+}
+
+func TestHashRejectsBadCount(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHash(%d) did not panic", n)
+				}
+			}()
+			NewHash(n)
+		}()
+	}
+}
+
+// TestRangeBoundaries: interval edges, the zero key, and the maximum key.
+func TestRangeBoundaries(t *testing.T) {
+	r := NewRange([]uint64{100, 1000, 1 << 63})
+	if r.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", r.Shards())
+	}
+	cases := []struct {
+		key  uint64
+		want int
+	}{
+		{0, 0}, {99, 0},
+		{100, 1}, // a key exactly at a bound belongs to the right shard
+		{101, 1}, {999, 1},
+		{1000, 2}, {1<<63 - 1, 2},
+		{1 << 63, 3}, {1<<63 + 1, 3}, {math.MaxUint64, 3},
+	}
+	for _, c := range cases {
+		if got := r.Shard(c.key); got != c.want {
+			t.Errorf("Range.Shard(%#x) = %d, want %d", c.key, got, c.want)
+		}
+	}
+}
+
+// TestRangeSingleShard: no bounds means one shard owning everything.
+func TestRangeSingleShard(t *testing.T) {
+	r := NewRange(nil)
+	if r.Shards() != 1 {
+		t.Fatalf("Shards() = %d, want 1", r.Shards())
+	}
+	for _, k := range []uint64{0, 42, math.MaxUint64} {
+		if s := r.Shard(k); s != 0 {
+			t.Fatalf("Shard(%d) = %d, want 0", k, s)
+		}
+	}
+}
+
+func TestRangeRejectsUnsortedBounds(t *testing.T) {
+	for _, bounds := range [][]uint64{{5, 5}, {10, 3}, {1, 2, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewRange(%v) did not panic", bounds)
+				}
+			}()
+			NewRange(bounds)
+		}()
+	}
+}
+
+// TestValidatePairing: a partitioner built for the wrong shard count must
+// be rejected by the store constructors.
+func TestValidatePairing(t *testing.T) {
+	if _, err := NewVolatile(3, false, NewHash(4)); err == nil {
+		t.Fatal("mismatched partitioner accepted")
+	}
+	if _, err := NewVolatile(0, false, nil); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+}

@@ -76,6 +76,46 @@ type Engine interface {
 	Close() error
 }
 
+// MultiTx is the handle of a cross-shard transaction body running on a
+// Sharded store: every access names the shard it targets. Bodies may only
+// touch shards that own one of the keys declared to UpdateCross — the
+// store panics with ErrShardNotDeclared otherwise — and, like Tx bodies,
+// must be side-effect free except through the handle (they may run more
+// than once). Cross-shard transactions cannot allocate or free heap
+// blocks; allocate in single-shard transactions and link the blocks
+// cross-shard.
+type MultiTx interface {
+	// Load returns the current value of word p on the given shard.
+	Load(shard int, p Ptr) uint64
+	// Store sets word p on the given shard.
+	Store(shard int, p Ptr, v uint64)
+}
+
+// Sharded is a partitioned transactional store: N independent engines,
+// each the home of the keys a Partitioner maps to it. Single-shard
+// transactions run unmodified on their home engine — N disjoint working
+// sets commit on N concurrent streams — while cross-shard transactions
+// commit atomically across their participants via the store's two-phase
+// protocol.
+type Sharded interface {
+	// Shards returns the number of partitions.
+	Shards() int
+	// ShardFor returns the home shard of key.
+	ShardFor(key uint64) int
+	// Update runs fn as an update transaction on key's home shard.
+	Update(key uint64, fn func(Tx) uint64) uint64
+	// Read runs fn as a read-only transaction on key's home shard.
+	Read(key uint64, fn func(Tx) uint64) uint64
+	// UpdateCross runs fn as a transaction spanning the home shards of
+	// keys, committing atomically across all of them (all shards'
+	// effects become durable, or none do — even across a crash).
+	UpdateCross(keys []uint64, fn func(MultiTx) uint64) (uint64, error)
+	// Stats returns the engines' counters summed.
+	Stats() Stats
+	// Close closes every shard engine.
+	Close() error
+}
+
 // Persistent is implemented by the PTM engines.
 type Persistent interface {
 	Engine
@@ -106,6 +146,13 @@ var (
 	// fail such transactions fast (by panicking with this value) instead
 	// of waiting for a slot that will never be released.
 	ErrEngineClosed = errors.New("tm: engine is closed")
+	// ErrShardNotDeclared reports a MultiTx access to a shard that owns
+	// none of the keys declared to UpdateCross. Sharded stores panic with
+	// this value: only declared shards are quiesced for the cross-shard
+	// window, so the access would race.
+	ErrShardNotDeclared = errors.New("tm: access to a shard not declared to UpdateCross")
+	// ErrNoKeys reports an UpdateCross call with an empty key set.
+	ErrNoKeys = errors.New("tm: UpdateCross requires at least one key")
 )
 
 // Stats is a snapshot of engine activity counters. Persistence counters are

@@ -40,6 +40,7 @@ import (
 	"onefile/internal/obs"
 	"onefile/internal/pmem"
 	"onefile/internal/pmem/filedev"
+	"onefile/internal/shard"
 	"onefile/internal/tm"
 )
 
@@ -248,4 +249,69 @@ func (n *NVM) SaveSnapshot(w io.Writer) error {
 func (n *NVM) LoadSnapshot(r io.Reader) error {
 	_, err := n.dev.ReadFrom(r)
 	return err
+}
+
+// Sharded stores (DESIGN.md §13). OneFile has exactly one serial commit
+// stream per engine; a sharded store runs N independent engines behind a
+// key partitioner, so disjoint-key workloads get N streams. Transactions
+// whose keys live on one shard route to that engine untouched — same cost,
+// same progress guarantee; transactions naming keys on several shards
+// commit through a two-phase protocol that survives a crash at any point
+// (in-doubt shards are resolved from the coordinator's decide record at
+// the next attach).
+type (
+	// Sharded is the interface of a partitioned transactional store.
+	Sharded = tm.Sharded
+	// MultiTx is the handle a cross-shard transaction body uses: every
+	// access names the shard it targets, which must own one of the keys
+	// declared to UpdateCross.
+	MultiTx = tm.MultiTx
+	// ShardedStore is the concrete partitioned store, with per-shard
+	// engine access, cross-shard counters and metrics registration beyond
+	// the Sharded interface.
+	ShardedStore = shard.Store
+	// Partitioner maps keys to shards.
+	Partitioner = shard.Partitioner
+)
+
+// ShardedUserRoots is the number of root slots available per shard of a
+// sharded store: the top NumRoots-ShardedUserRoots slots hold the
+// cross-shard commit metadata. Root(i) for i < ShardedUserRoots is safe.
+const ShardedUserRoots = shard.UserRoots
+
+// HashPartitioner spreads keys over n shards by a mixed hash — the
+// default placement when keys carry no locality worth preserving.
+func HashPartitioner(n int) Partitioner { return shard.NewHash(n) }
+
+// RangePartitioner splits the key space at the given ascending bounds:
+// keys below bounds[0] map to shard 0, keys in [bounds[i-1], bounds[i]) to
+// shard i, and keys at or above the last bound to shard len(bounds).
+func RangePartitioner(bounds ...uint64) Partitioner { return shard.NewRange(bounds) }
+
+// NewShardedTM creates a volatile sharded store of n lock-free (or, with
+// waitFree, bounded wait-free) OneFile STM engines. A nil part defaults to
+// HashPartitioner(n). opts size each shard's engine individually.
+func NewShardedTM(n int, waitFree bool, part Partitioner, opts ...Option) (*ShardedStore, error) {
+	return shard.NewVolatile(n, waitFree, part, opts...)
+}
+
+// OpenShardedTM opens (or creates) a persistent sharded store backed by
+// one mmap device file per shard under dir, as NewFileNVM does for a
+// single engine. existed reports whether dir already held a store, in
+// which case it was recovered — including resolution of any cross-shard
+// transaction left in doubt by a crash. A directory holding only part of
+// the shard set is rejected. mode and seed govern the simulated
+// relaxed-ordering adversary; production use is Strict.
+func OpenShardedTM(dir string, n int, waitFree bool, mode Mode, seed int64, part Partitioner, opts ...Option) (st *ShardedStore, existed bool, err error) {
+	return shard.OpenFiles(dir, n, waitFree, pmem.Mode(mode), seed, part, opts...)
+}
+
+// RegisterShardedMetrics registers every shard engine of st in reg —
+// counters, latency histograms and flight recorder each, under
+// onefile_<engine>_shard<i> prefixes — and returns the per-shard handles.
+func RegisterShardedMetrics(reg *MetricsRegistry, st *ShardedStore) []*EngineMetrics {
+	if st.Shards() == 0 {
+		return nil
+	}
+	return st.RegisterMetrics(reg, core.MetricsPrefix(st.Engine(0).Name()))
 }

@@ -182,3 +182,101 @@ func TestSnapshotAcrossProcessRestart(t *testing.T) {
 		t.Fatalf("restored engine not writable: len=%d", q2.Len())
 	}
 }
+
+func TestPublicShardedVolatile(t *testing.T) {
+	st, err := onefile.NewShardedTM(4, false, nil, small()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Shards() != 4 {
+		t.Fatalf("Shards() = %d", st.Shards())
+	}
+	// Single-shard routing: per-key counters on the key's home engine.
+	bal := onefile.Root(0)
+	keys := []uint64{3, 1000, 77777, 1 << 40}
+	for _, k := range keys {
+		st.Update(k, func(tx onefile.Tx) uint64 {
+			tx.Store(bal, tx.Load(bal)+100)
+			return 0
+		})
+	}
+	// Cross-shard: move 40 between two keys on (very likely) different
+	// shards, atomically.
+	a, b := keys[0], keys[3]
+	sa, sb := st.ShardFor(a), st.ShardFor(b)
+	if sa == sb {
+		t.Skipf("hash placed probe keys on one shard (%d)", sa)
+	}
+	res, err := st.UpdateCross([]uint64{a, b}, func(m onefile.MultiTx) uint64 {
+		m.Store(sa, bal, m.Load(sa, bal)-40)
+		m.Store(sb, bal, m.Load(sb, bal)+40)
+		return m.Load(sb, bal)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != 140 {
+		t.Fatalf("cross result = %d, want 140", res)
+	}
+	if got := st.Read(a, func(tx onefile.Tx) uint64 { return tx.Load(bal) }); got != 60 {
+		t.Fatalf("source balance = %d, want 60", got)
+	}
+	if cs := st.CrossStats(); cs.Cross != 1 {
+		t.Fatalf("CrossStats.Cross = %d, want 1", cs.Cross)
+	}
+	var _ onefile.Sharded = st // the concrete store satisfies the interface
+}
+
+func TestPublicShardedFilesReopen(t *testing.T) {
+	dir := t.TempDir()
+	part := onefile.RangePartitioner(1000)
+	st, existed, err := onefile.OpenShardedTM(dir, 2, false, onefile.Strict, 1, part, small()...)
+	if err != nil {
+		t.Skipf("file-backed sharded store unavailable: %v", err)
+	}
+	if existed {
+		t.Fatal("fresh dir reported an existing store")
+	}
+	pot := onefile.Root(0)
+	if _, err := st.UpdateCross([]uint64{5, 2000}, func(m onefile.MultiTx) uint64 {
+		m.Store(0, pot, 70)
+		m.Store(1, pot, 30)
+		return 0
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, existed, err := onefile.OpenShardedTM(dir, 2, false, onefile.Strict, 1, part, small()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !existed {
+		t.Fatal("existing store not recognised")
+	}
+	defer st2.Close()
+	sum := st2.Read(5, func(tx onefile.Tx) uint64 { return tx.Load(pot) }) +
+		st2.Read(2000, func(tx onefile.Tx) uint64 { return tx.Load(pot) })
+	if sum != 100 {
+		t.Fatalf("recovered pots sum to %d, want 100", sum)
+	}
+}
+
+func TestPublicShardedMetrics(t *testing.T) {
+	st, err := onefile.NewShardedTM(2, false, onefile.HashPartitioner(2), small()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	reg := onefile.NewMetricsRegistry()
+	if ms := onefile.RegisterShardedMetrics(reg, st); len(ms) != 2 {
+		t.Fatalf("registered %d shard metric handles, want 2", len(ms))
+	}
+	st.Update(1, func(tx onefile.Tx) uint64 {
+		tx.Store(onefile.Root(0), 1)
+		return 0
+	})
+}
