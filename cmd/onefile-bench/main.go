@@ -60,6 +60,10 @@ var (
 	procsFlag   = flag.Int("procs", runtime.GOMAXPROCS(0), "with -fig 13: GOMAXPROCS to pin while sweeping worker counts 1,P,2P,4P")
 	repsFlag    = flag.Int("reps", 3, "with -fig 13: interleaved measurements per point (the median is reported)")
 	jsonFlag    = flag.String("json", "", "also write the results as a JSON report to this file")
+	kvAddrFlag  = flag.String("kv-addr", "", "with -fig kv: benchmark an externally started onefile-kv at this address instead of an in-process server")
+	kvConnsFlag = flag.Int("kv-conns", 4, "with -fig kv: concurrent client connections")
+	kvPipeFlag  = flag.Int("kv-pipeline", 16, "with -fig kv: commands in flight per connection")
+	kvZipfFlag  = flag.Float64("kv-zipf", 1.1, "with -fig kv: zipfian key-skew exponent (s>1; 0 = uniform)")
 	cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 )
@@ -171,6 +175,9 @@ func dispatch(threads []int) error {
 	if *figFlag == "shards" {
 		return runShardsFig()
 	}
+	if *figFlag == "kv" {
+		return runKVFig()
+	}
 	if *latFlag {
 		return runLatencyObs()
 	}
@@ -178,7 +185,7 @@ func dispatch(threads []int) error {
 		return runFig(fig, threads)
 	}
 	flag.Usage()
-	return fmt.Errorf("pass -fig 2..13, -fig batch, -table 1, -latency or -all")
+	return fmt.Errorf("pass -fig 2..13, -fig batch, -fig kv, -table 1, -latency or -all")
 }
 
 func parseThreads(s string) ([]int, error) {
@@ -549,6 +556,58 @@ func runBatchFig() error {
 			return err
 		}
 		row(eng, d, c)
+	}
+	return nil
+}
+
+// runKVFig is the network KV-service sweep (-fig kv): every default mix
+// over real sockets, one figure per mix with per-op-type throughput and
+// submit→reply percentiles. With -kv-addr it measures an externally
+// started onefile-kv; otherwise an in-process server over a persistent
+// engine on a loopback listener. The per-point duration follows -dur but
+// is floored at 2s (a service measurement needs the combiner and the
+// socket path warmed), except under -quick.
+func runKVFig() error {
+	cfg := bench.KVConfig{
+		Addr:     *kvAddrFlag,
+		Conns:    *kvConnsFlag,
+		Pipeline: *kvPipeFlag,
+		ZipfS:    *kvZipfFlag,
+		Duration: *durFlag,
+		Keys:     1 << 20,
+	}
+	if *keysFlag > 0 {
+		cfg.Keys = *keysFlag
+	}
+	if *quickFlag {
+		if *keysFlag == 0 || *keysFlag == 256 {
+			cfg.Keys = 4096
+		}
+	} else if cfg.Duration < 2*time.Second {
+		cfg.Duration = 2 * time.Second
+	}
+	where := "in-process server, engine OF-LF-PTM"
+	if cfg.Addr != "" {
+		where = "external server at " + cfg.Addr
+	}
+	for _, mix := range bench.KVMixes {
+		res, err := bench.KVBench(mix, cfg)
+		if err != nil {
+			return err
+		}
+		figure("kv-"+mix.Name, "percentile")
+		header(fmt.Sprintf("KV service: %s (%d%%R/%d%%U/%d%%S) — %d conns × %d pipeline, %d keys, zipf %g, %s",
+			mix.Name, 100-mix.Update-mix.Scan, mix.Update, mix.Scan,
+			cfg.Conns, cfg.Pipeline, cfg.Keys, cfg.ZipfS, where),
+			"ops/s", "p50 µs", "p99 µs", "p999 µs")
+		for _, op := range []string{"get", "set", "scan"} {
+			st, ok := res.PerOp[op]
+			if !ok {
+				continue
+			}
+			rowf(op, "%12.1f", st.OpsPerSec, st.P50, st.P99, st.P999)
+		}
+		rowf("all", "%12.1f", res.Throughput, 0, 0, 0)
 	}
 	return nil
 }

@@ -41,6 +41,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -48,6 +50,7 @@ import (
 
 	"onefile"
 	"onefile/containers"
+	"onefile/internal/svc"
 )
 
 var (
@@ -141,13 +144,22 @@ func (s *store) TopK(k int) [][2]uint64 {
 // serve attaches a metrics registry to the engine, keeps a background
 // workload running (direct puts and gets plus combined counter batches, so
 // the direct, read and combined paths all record), and serves the
-// exposition endpoints until killed.
-func serve(kv *store, e onefile.Engine, addr string) {
+// exposition endpoints until a SIGINT/SIGTERM. It then stops the workload
+// and returns, so the caller can close the engine and the NVM — exiting
+// through log.Fatal here would leave a file-backed store with a dirty
+// superblock and force crash recovery on every restart.
+func serve(kv *store, e onefile.Engine, addr string) error {
 	reg := onefile.NewMetricsRegistry()
 	if onefile.RegisterMetrics(reg, e) == nil {
-		log.Fatal("engine does not support metrics registration")
+		return errors.New("engine does not support metrics registration")
 	}
+	sigCtx, stop := svc.SignalContext()
+	defer stop()
+	ctx, cancel := context.WithCancel(sigCtx)
+	defer cancel()
+	done := make(chan struct{})
 	go func() {
+		defer close(done)
 		const keys = 2000
 		fns := make([]func(onefile.Tx) uint64, 16)
 		for i := range fns {
@@ -157,13 +169,14 @@ func serve(kv *store, e onefile.Engine, addr string) {
 				return 0
 			}
 		}
-		for i := uint64(1); ; i++ {
+		for i := uint64(1); ctx.Err() == nil; i++ {
 			kv.Put(i%keys+1, i%1000)
 			kv.Get((i * 7) % keys)
 			if i%64 == 0 {
 				for _, r := range onefile.Batch(e, fns) {
 					if r.Err != nil {
-						log.Fatalf("combined batch: %v", r.Err)
+						log.Printf("combined batch: %v", r.Err)
+						return
 					}
 				}
 			}
@@ -171,8 +184,11 @@ func serve(kv *store, e onefile.Engine, addr string) {
 	}()
 	mux := http.NewServeMux()
 	reg.Mount(mux)
-	log.Printf("kvstore: serving /metrics, /debug/vars, /debug/flightrecorder on %s", addr)
-	log.Fatal(http.ListenAndServe(addr, mux))
+	log.Printf("kvstore: serving /metrics, /debug/vars, /debug/flightrecorder on %s (SIGINT/SIGTERM for clean shutdown)", addr)
+	err := svc.ServeHTTP(ctx, addr, mux)
+	cancel() // stop the workload even if the listener failed on its own
+	<-done   // engine quiescent: safe for the caller to close it
+	return err
 }
 
 // shardedMain is the -shards N demo: a hash-partitioned store whose keys
@@ -211,7 +227,11 @@ func shardedMain(n int) {
 	pot := onefile.Root(3)
 
 	if *serveAddr != "" {
-		serveSharded(st, subs, *serveAddr)
+		// On return the workload is quiescent; the deferred st.Close
+		// closes every shard engine and device, marking superblocks clean.
+		if err := serveSharded(st, subs, *serveAddr); err != nil {
+			log.Printf("serve: %v", err)
+		}
 		return
 	}
 
@@ -284,17 +304,23 @@ func shardKeys(st *onefile.ShardedStore) []uint64 {
 // running: routed puts/gets on each key's home shard plus a trickle of
 // cross-shard pot transfers, so the per-shard families and the cross-shard
 // counters all move.
-func serveSharded(st *onefile.ShardedStore, subs []*store, addr string) {
+func serveSharded(st *onefile.ShardedStore, subs []*store, addr string) error {
 	reg := onefile.NewMetricsRegistry()
 	if ms := onefile.RegisterShardedMetrics(reg, st); len(ms) != len(subs) {
-		log.Fatal("shard metrics registration failed")
+		return errors.New("shard metrics registration failed")
 	}
 	pot := onefile.Root(3)
 	keyFor := shardKeys(st)
+	sigCtx, stop := svc.SignalContext()
+	defer stop()
+	ctx, cancel := context.WithCancel(sigCtx)
+	defer cancel()
+	done := make(chan struct{})
 	go func() {
+		defer close(done)
 		const keys = 2000
 		n := len(subs)
-		for i := uint64(1); ; i++ {
+		for i := uint64(1); ctx.Err() == nil; i++ {
 			k := i%keys + 1
 			subs[st.ShardFor(k)].Put(k, i%1000)
 			g := (i * 7) % keys
@@ -307,15 +333,19 @@ func serveSharded(st *onefile.ShardedStore, subs []*store, addr string) {
 					m.Store(b, pot, m.Load(b, pot)+1)
 					return 0
 				}); err != nil {
-					log.Fatalf("cross-shard transfer: %v", err)
+					log.Printf("cross-shard transfer: %v", err)
+					return
 				}
 			}
 		}
 	}()
 	mux := http.NewServeMux()
 	reg.Mount(mux)
-	log.Printf("kvstore: serving %d-shard /metrics, /debug/vars, /debug/flightrecorder on %s", len(subs), addr)
-	log.Fatal(http.ListenAndServe(addr, mux))
+	log.Printf("kvstore: serving %d-shard /metrics, /debug/vars, /debug/flightrecorder on %s (SIGINT/SIGTERM for clean shutdown)", len(subs), addr)
+	err := svc.ServeHTTP(ctx, addr, mux)
+	cancel()
+	<-done // store quiescent: the caller's deferred st.Close is safe
+	return err
 }
 
 func main() {
@@ -356,7 +386,15 @@ func main() {
 	kv := open(e)
 
 	if *serveAddr != "" {
-		serve(kv, e, *serveAddr)
+		// serve returns with the workload stopped; close the engine, then
+		// return through the deferred nvm.Close so a -file store's
+		// superblock is marked clean instead of leaving a crash image.
+		if err := serve(kv, e, *serveAddr); err != nil {
+			log.Printf("serve: %v", err)
+		}
+		if err := e.Close(); err != nil {
+			log.Printf("engine close: %v", err)
+		}
 		return
 	}
 

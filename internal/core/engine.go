@@ -159,6 +159,14 @@ type opDesc struct {
 	tag   uint64
 	birth uint64 // curTx sequence when published (hazard era birth)
 
+	// fail parks the panic value of a terminally failed execution until
+	// the submitter re-raises it (updateWF). Racing executions may each
+	// store one — a body can panic differently per run — but any stored
+	// value is the genuine outcome of one execution, and the store
+	// sequenced before the commit that tagged opFailBit is visible to the
+	// submitter through that commit's apply phase.
+	fail atomic.Pointer[any]
+
 	// reclaimed is set by the hazard-era free callback. Under Go's GC the
 	// object stays valid, so this flag turns what would be a
 	// use-after-free in C++ into a detectable protocol violation.
@@ -393,7 +401,7 @@ func (e *Engine) attach() error {
 	for i := range e.slots {
 		_, tagW := e.resultWord(i)
 		val, _ := e.words[tagW].Load()
-		e.slots[i].opTag = val
+		e.slots[i].opTag = val &^ opFailBit
 	}
 	return nil
 }

@@ -101,6 +101,103 @@ func TestTooManyStoresPanics(t *testing.T) {
 	})
 }
 
+// TestWaitFreePanicDelivery pins the wait-free panic contract: a published
+// operation whose body panics delivers that panic on the submitter's
+// goroutine and on no other — the descriptor is unpublished afterwards, so
+// neither the submitter's next transaction nor a concurrent helper
+// aggregating the heap ever re-executes the poisoned operation.
+func TestWaitFreePanicDelivery(t *testing.T) {
+	e := NewWF(tm.WithHeapWords(1<<14), tm.WithMaxThreads(8), tm.WithMaxStores(16))
+	defer e.Close()
+
+	boom := errors.New("body boom")
+	caught := func() (r any) {
+		defer func() { r = recover() }()
+		e.Update(func(tx tm.Tx) uint64 {
+			tx.Store(tm.Root(0), 7)
+			panic(boom)
+		})
+		return nil
+	}()
+	if caught != boom {
+		t.Fatalf("submitter recovered %v, want the body's panic value", caught)
+	}
+	if got := e.Read(func(tx tm.Tx) uint64 { return tx.Load(tm.Root(0)) }); got != 0 {
+		t.Fatalf("failed op leaked a store: root = %d", got)
+	}
+
+	// The poisoned descriptor must be gone: concurrent innocent updates
+	// (which aggregate every published op) and the submitter's own next
+	// update all succeed.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			e.Update(func(tx tm.Tx) uint64 {
+				tx.Store(tm.Root(1), tx.Load(tm.Root(1))+1)
+				return 0
+			})
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		e.Update(func(tx tm.Tx) uint64 {
+			tx.Store(tm.Root(2), tx.Load(tm.Root(2))+1)
+			return 0
+		})
+	}
+	<-done
+	sum := e.Read(func(tx tm.Tx) uint64 { return tx.Load(tm.Root(1)) + tx.Load(tm.Root(2)) })
+	if sum != 200 {
+		t.Fatalf("post-panic updates lost work: %d commits, want 200", sum)
+	}
+}
+
+// TestWaitFreeOverflowAggregationInnocent: an operation that fits MaxStores
+// on its own must never fail with ErrTooManyStores just because it was
+// aggregated with other published operations (the aggregate skips and
+// retries it instead).
+func TestWaitFreeOverflowAggregationInnocent(t *testing.T) {
+	e := NewWF(tm.WithHeapWords(1<<14), tm.WithMaxThreads(8), tm.WithMaxStores(16))
+	defer e.Close()
+
+	const goroutines, rounds = 6, 50
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		gg := g
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					errs <- fmt.Errorf("goroutine %d: %v", gg, r)
+					return
+				}
+				errs <- nil
+			}()
+			for i := 0; i < rounds; i++ {
+				// 6 distinct stores each: any two ops fit MaxStores=16
+				// with the result-word reservations, three do not.
+				e.Update(func(tx tm.Tx) uint64 {
+					for w := 0; w < 6; w++ {
+						tx.Store(tm.Root(8+gg*6+w), uint64(i+1))
+					}
+					return 0
+				})
+			}
+		}()
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for g := 0; g < goroutines; g++ {
+		for w := 0; w < 6; w++ {
+			if got := e.Read(func(tx tm.Tx) uint64 { return tx.Load(tm.Root(8 + g*6 + w)) }); got != rounds {
+				t.Fatalf("slot %d word %d = %d, want %d", g, w, got, rounds)
+			}
+		}
+	}
+}
+
 func TestRecoverOnVolatileEngineErrors(t *testing.T) {
 	e := NewLF(smallOpts()...)
 	if err := e.Recover(); err == nil {

@@ -197,6 +197,13 @@ type wsMark struct {
 // wait-free engines may run on helper goroutines, each against its own
 // slot's write-set).
 func (w *writeSet) beginUndo() {
+	if w.recording {
+		// Already armed by an enclosing scope — a combined batch
+		// executing inside a wait-free aggregate. Truncating here would
+		// invalidate marks the aggregate took before this operation;
+		// keep the outer scope's entries (reset() disarms).
+		return
+	}
 	w.recording = true
 	w.undoIdx = w.undoIdx[:0]
 	w.undoVal = w.undoVal[:0]

@@ -74,6 +74,10 @@ func mix(k uint64, i int) uint64 {
 }
 
 func TestMain(m *testing.M) {
+	if os.Getenv(envKV) != "" {
+		kvChildMain()
+		return
+	}
 	if os.Getenv(envEngine) != "" {
 		childMain()
 		return

@@ -1,0 +1,213 @@
+package kvserver
+
+// RESP2 wire protocol (the Redis serialization protocol), enough for a KV
+// service and its load harness: the server reads commands as arrays of bulk
+// strings (plus inline commands, so `redis-cli`-style tools and netcat
+// work), and writes the five RESP2 reply kinds. Implemented on bufio with
+// hard size caps so a malformed or hostile peer cannot make the server
+// allocate unboundedly.
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+const (
+	// maxArgs caps command arity (MGET fan-out included).
+	maxArgs = 1 << 10
+	// maxBulk caps a single argument's size; comfortably above MaxValLen
+	// so the store's own limit produces the client-visible error.
+	maxBulk = MaxValLen + MaxKeyLen
+	// maxInline caps an inline command line.
+	maxInline = 1 << 16
+)
+
+var (
+	errProtocol = errors.New("ERR protocol error")
+	errTooBig   = errors.New("ERR argument or array exceeds protocol limit")
+)
+
+// respReader decodes client commands from a stream.
+type respReader struct {
+	br *bufio.Reader
+}
+
+func newRespReader(r io.Reader) *respReader {
+	return &respReader{br: bufio.NewReaderSize(r, 16<<10)}
+}
+
+// Buffered reports whether bytes are already waiting in the read buffer —
+// the pipelining signal: while more commands are buffered the server defers
+// flushing write futures and keeps batching.
+func (r *respReader) Buffered() bool { return r.br.Buffered() > 0 }
+
+// readLine reads up to CRLF, returning the line without the terminator.
+func (r *respReader) readLine(cap int) ([]byte, error) {
+	line, err := r.br.ReadSlice('\n')
+	if err != nil {
+		if err == bufio.ErrBufferFull {
+			return nil, errTooBig
+		}
+		return nil, err
+	}
+	if len(line) > cap {
+		return nil, errTooBig
+	}
+	if len(line) < 2 || line[len(line)-2] != '\r' {
+		return nil, errProtocol
+	}
+	return line[:len(line)-2], nil
+}
+
+// ReadCommand reads one command: either a RESP array of bulk strings or an
+// inline (space-separated) line. The returned slices are freshly allocated
+// (they outlive the read buffer inside transaction closures).
+func (r *respReader) ReadCommand() ([][]byte, error) {
+	for {
+		line, err := r.readLine(maxInline)
+		if err != nil {
+			return nil, err
+		}
+		if len(line) == 0 {
+			continue // tolerate bare CRLF between commands
+		}
+		if line[0] != '*' {
+			// Inline command.
+			fields := bytes.Fields(line)
+			if len(fields) == 0 {
+				continue
+			}
+			if len(fields) > maxArgs {
+				return nil, errTooBig
+			}
+			args := make([][]byte, len(fields))
+			for i, f := range fields {
+				args[i] = append([]byte(nil), f...)
+			}
+			return args, nil
+		}
+		n, err := strconv.Atoi(string(line[1:]))
+		if err != nil || n < 0 {
+			return nil, errProtocol
+		}
+		if n > maxArgs {
+			return nil, errTooBig
+		}
+		args := make([][]byte, 0, n)
+		for i := 0; i < n; i++ {
+			arg, err := r.readBulk()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, arg)
+		}
+		if len(args) == 0 {
+			continue
+		}
+		return args, nil
+	}
+}
+
+func (r *respReader) readBulk() ([]byte, error) {
+	line, err := r.readLine(64)
+	if err != nil {
+		return nil, err
+	}
+	if len(line) == 0 || line[0] != '$' {
+		return nil, errProtocol
+	}
+	n, err := strconv.Atoi(string(line[1:]))
+	if err != nil || n < 0 {
+		return nil, errProtocol
+	}
+	if n > maxBulk {
+		return nil, errTooBig
+	}
+	buf := make([]byte, n+2)
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		return nil, err
+	}
+	if buf[n] != '\r' || buf[n+1] != '\n' {
+		return nil, errProtocol
+	}
+	return buf[:n], nil
+}
+
+// respWriter encodes replies. Not safe for concurrent use; the connection
+// loop is the only writer.
+type respWriter struct {
+	bw *bufio.Writer
+}
+
+func newRespWriter(w io.Writer) *respWriter {
+	return &respWriter{bw: bufio.NewWriterSize(w, 16<<10)}
+}
+
+func (w *respWriter) Flush() error { return w.bw.Flush() }
+
+func (w *respWriter) Simple(s string) {
+	w.bw.WriteByte('+')
+	w.bw.WriteString(s)
+	w.bw.WriteString("\r\n")
+}
+
+// Error writes a RESP error reply. The message is collapsed to one line
+// (RESP errors are line-delimited).
+func (w *respWriter) Error(msg string) {
+	w.bw.WriteByte('-')
+	for i := 0; i < len(msg); i++ {
+		c := msg[i]
+		if c == '\r' || c == '\n' {
+			c = ' '
+		}
+		w.bw.WriteByte(c)
+	}
+	w.bw.WriteString("\r\n")
+}
+
+func (w *respWriter) Int(n int64) {
+	w.bw.WriteByte(':')
+	w.bw.Write(strconv.AppendInt(nil, n, 10))
+	w.bw.WriteString("\r\n")
+}
+
+func (w *respWriter) Bulk(b []byte) {
+	w.bw.WriteByte('$')
+	w.bw.Write(strconv.AppendInt(nil, int64(len(b)), 10))
+	w.bw.WriteString("\r\n")
+	w.bw.Write(b)
+	w.bw.WriteString("\r\n")
+}
+
+func (w *respWriter) Null() { w.bw.WriteString("$-1\r\n") }
+
+func (w *respWriter) Array(n int) {
+	w.bw.WriteByte('*')
+	w.bw.Write(strconv.AppendInt(nil, int64(n), 10))
+	w.bw.WriteString("\r\n")
+}
+
+// errReply renders an error as a RESP error message: errors already
+// carrying a Redis-style code pass through, anything else gets ERR.
+func errReply(err error) string {
+	msg := err.Error()
+	if len(msg) > 0 && msg[0] >= 'A' && msg[0] <= 'Z' {
+		if i := bytes.IndexByte([]byte(msg), ' '); i > 0 && allUpper(msg[:i]) {
+			return msg
+		}
+	}
+	return fmt.Sprintf("ERR %s", msg)
+}
+
+func allUpper(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < 'A' || s[i] > 'Z' {
+			return false
+		}
+	}
+	return len(s) > 0
+}

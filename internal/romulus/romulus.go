@@ -90,7 +90,8 @@ type Engine struct {
 	arrive   [2]atomic.Uint64
 	depart   [2]atomic.Uint64
 
-	modLog []modEntry // combiner-private: modifications this cycle
+	modLog  []modEntry // combiner-private: modifications this cycle
+	txStart int        // combiner-private: modLog length when the current request began
 
 	commits     atomic.Uint64
 	readCommits atomic.Uint64
@@ -326,6 +327,7 @@ func (e *Engine) combine() {
 // wedge or corrupt the batch.
 func (e *Engine) runOne(r *fcReq) {
 	start := len(e.modLog)
+	e.txStart = start
 	defer func() {
 		if p := recover(); p != nil {
 			for k := len(e.modLog) - 1; k >= start; k-- {
@@ -409,6 +411,13 @@ func (t *uTx) Load(p tm.Ptr) uint64 {
 }
 
 func (t *uTx) Store(p tm.Ptr, v uint64) {
+	if len(t.e.modLog)-t.e.txStart >= t.e.cfg.MaxStores {
+		// Engine contract (tm.ErrTooManyStores): the cap is per request,
+		// not per combiner cycle. runOne's recover undoes this request's
+		// stores and re-raises the value on the requester, so one
+		// oversized transaction cannot fail its batchmates.
+		panic(tm.ErrTooManyStores)
+	}
 	old := t.e.dev.RawLoad(t.e.mainBase + int(p))
 	t.e.dev.RawStore(t.e.mainBase+int(p), v)
 	t.e.modLog = append(t.e.modLog, modEntry{off: int(p), old: old})

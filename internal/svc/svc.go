@@ -1,0 +1,60 @@
+// Package svc holds the small pieces of process plumbing shared by the
+// long-running commands in this repository (cmd/onefile-kv, the kvstore
+// example's -serve mode): signal-driven shutdown contexts and an HTTP
+// server wrapper that drains instead of exiting.
+//
+// The point of the package is the shutdown discipline: a durable service
+// must leave its device file with a clean superblock, which means the
+// process must never exit through log.Fatal while an engine is attached —
+// it must stop accepting work, drain what is in flight, and return through
+// main so the deferred NVM.Close runs. Every helper here returns instead of
+// exiting.
+package svc
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// DefaultDrainTimeout bounds how long shutdown waits for in-flight work.
+const DefaultDrainTimeout = 10 * time.Second
+
+// SignalContext returns a context cancelled by SIGINT or SIGTERM. The stop
+// function releases the signal registration; after the first signal the
+// default handler is restored, so a second signal kills the process the
+// usual way (an escape hatch from a wedged drain).
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+}
+
+// ServeHTTP serves mux on addr until ctx is cancelled, then shuts the
+// server down gracefully (in-flight requests finish, bounded by
+// DefaultDrainTimeout) and returns. A nil error means an orderly shutdown;
+// any listener or serve failure is returned as-is so the caller can decide
+// whether the process state is still worth closing cleanly.
+func ServeHTTP(ctx context.Context, addr string, mux http.Handler) error {
+	srv := &http.Server{Addr: addr, Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		// ListenAndServe never returns nil; reaching here means the
+		// listener failed before ctx was cancelled.
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), DefaultDrainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		_ = srv.Close()
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

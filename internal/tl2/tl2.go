@@ -85,6 +85,7 @@ type txCtx struct {
 	mask    uint32
 	window  [elasticWindow]readEntry
 	wlen    int
+	max     int      // write-set capacity (cfg.MaxStores)
 	stripes []uint32 // stripes locked at commit
 	saved   []uint64 // lock words observed when acquiring those stripes
 }
@@ -116,6 +117,7 @@ func newEngine(elastic bool, opts []tm.Option) *Engine {
 		c.buckets = make([]int32, nb)
 		c.bver = make([]uint32, nb)
 		c.mask = uint32(nb - 1)
+		c.max = cfg.MaxStores
 	}
 	e.clock.Store(1)
 	talloc.InitDirect(func(p tm.Ptr, v uint64) { e.words[p].Store(v) }, e.dynBase, cfg.HeapWords)
@@ -344,6 +346,13 @@ func (c *txCtx) wsAdd(addr, val uint64) {
 				return
 			}
 		}
+		if len(c.writes) >= c.max {
+			// Engine contract (tm.ErrTooManyStores): every engine panics
+			// with this value the moment the write-set would exceed
+			// MaxStores. Lazy buffering means no lock is held yet, so the
+			// panic unwinds through Update's release with nothing to undo.
+			panic(tm.ErrTooManyStores)
+		}
 		c.writes = append(c.writes, writeEntry{addr: addr, val: val, next: -1})
 		if len(c.writes) == 41 {
 			for i := range c.writes {
@@ -359,6 +368,9 @@ func (c *txCtx) wsAdd(addr, val uint64) {
 			c.writes[i].val = val
 			return
 		}
+	}
+	if len(c.writes) >= c.max {
+		panic(tm.ErrTooManyStores)
 	}
 	c.writes = append(c.writes, writeEntry{addr: addr, val: val, next: -1})
 	i := int32(len(c.writes) - 1)

@@ -137,7 +137,15 @@ var (
 	// live allocated block.
 	ErrBadFree = errors.New("tm: free of invalid pointer")
 	// ErrTooManyStores reports a transaction exceeding the per-transaction
-	// write-set capacity.
+	// write-set capacity (Config.MaxStores). The contract is uniform
+	// across every engine: the Store/Alloc/Free that would overflow
+	// panics with exactly this value, the transaction's effects are fully
+	// undone (eager engines roll back their in-place stores and release
+	// their locks; lazy engines just discard the buffer), and the engine
+	// remains usable. Layers with an error return translate the panic:
+	// combiner futures carry it as the submission's error (Future.Wait),
+	// and a sharded store's UpdateCross returns it wrapped when the
+	// cross-shard staging area would overflow a participant.
 	ErrTooManyStores = errors.New("tm: transaction write-set overflow")
 	// ErrNoThreadSlot reports that more goroutines entered transactions
 	// concurrently than the engine was configured for.

@@ -344,12 +344,24 @@ func (e *Engine) commit(c *txCtx) {
 
 // rollback undoes the in-place stores in reverse order and releases the
 // locks with their original words.
+//
+// The restored words must be durably flushed and fenced BEFORE the count
+// truncation becomes durable (mirroring recover): the in-place store of
+// the aborted value may already be persistent — Flush snapshots whole
+// cache lines, so a neighbouring transaction flushing an adjacent word on
+// the same line can carry it to the image — and once the count is durably
+// zero the log no longer covers it. A crash in that window would leave the
+// aborted value in the recovered heap with no undo record. Flushing the
+// restorations first makes truncation safe: after the fence the heap image
+// holds the pre-transaction values regardless of crash point.
 func (e *Engine) rollback(c *txCtx) {
 	for k := c.n - 1; k >= 0; k-- {
 		addr := e.dev.RawLoad(c.logOff + 1 + 2*k)
 		old := e.dev.RawLoad(c.logOff + 2 + 2*k)
 		e.dev.RawStore(e.dataBase+int(addr), old)
+		e.dev.Flush(c.id, e.dataBase+int(addr), 1)
 	}
+	e.dev.Fence(c.id)
 	e.dev.RawStore(c.logOff, 0)
 	e.dev.Flush(c.id, c.logOff, 1)
 	e.dev.Fence(c.id)
