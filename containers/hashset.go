@@ -8,6 +8,9 @@ package containers
 type HashSet struct {
 	e    Engine
 	desc Ptr // [0]=buckets block, [1]=bucket count, [2]=size
+
+	addHint smallHint
+	remHint smallHint
 }
 
 const (
@@ -50,9 +53,11 @@ func (h *HashSet) bucketOf(tx Tx, k uint64) Ptr {
 	return b + Ptr(hashKey(k)&(n-1))
 }
 
-// Add inserts k; it reports whether the set changed.
+// Add inserts k; it reports whether the set changed. Adds of keys already
+// present are read-only bodies and commit on the small-transaction fast
+// path; inserting adds allocate a node and run on the full path.
 func (h *HashSet) Add(k uint64) bool {
-	return h.e.Update(func(tx Tx) uint64 { return boolWord(h.AddTx(tx, k)) }) == 1
+	return updateSmall(h.e, &h.addHint, func(tx Tx) uint64 { return boolWord(h.AddTx(tx, k)) }) == 1
 }
 
 // AddTx inserts k as part of the caller's transaction.
@@ -118,9 +123,10 @@ func (h *HashSet) growTx(tx Tx, newN uint64) {
 	tx.Free(oldB)
 }
 
-// Remove deletes k; it reports whether the set changed.
+// Remove deletes k; it reports whether the set changed. Removes of absent
+// keys are read-only bodies and commit on the small-transaction fast path.
 func (h *HashSet) Remove(k uint64) bool {
-	return h.e.Update(func(tx Tx) uint64 { return boolWord(h.RemoveTx(tx, k)) }) == 1
+	return updateSmall(h.e, &h.remHint, func(tx Tx) uint64 { return boolWord(h.RemoveTx(tx, k)) }) == 1
 }
 
 // RemoveTx deletes k as part of the caller's transaction.

@@ -6,6 +6,9 @@ package containers
 type Stack struct {
 	e    Engine
 	desc Ptr // [0]=top, [1]=length
+
+	pushHint smallHint
+	popHint  smallHint
 }
 
 const (
@@ -22,9 +25,10 @@ func NewStack(e Engine, rootSlot int) *Stack {
 	return &Stack{e: e, desc: desc}
 }
 
-// Push adds v in its own transaction.
+// Push adds v in its own transaction. Like Queue.Enqueue, the fast-path
+// probe converges to the full path (a push always allocates).
 func (s *Stack) Push(v uint64) {
-	s.e.Update(func(tx Tx) uint64 {
+	updateSmall(s.e, &s.pushHint, func(tx Tx) uint64 {
 		s.PushTx(tx, v)
 		return 0
 	})
@@ -41,7 +45,7 @@ func (s *Stack) PushTx(tx Tx, v uint64) {
 
 // Pop removes and returns the newest value; ok is false when empty.
 func (s *Stack) Pop() (v uint64, ok bool) {
-	return unpack(s.e.Update(func(tx Tx) uint64 {
+	return unpack(updateSmall(s.e, &s.popHint, func(tx Tx) uint64 {
 		v, ok := s.PopTx(tx)
 		return pack(v, ok)
 	}))

@@ -124,6 +124,9 @@ type combiner struct {
 	lfBody   func(tm.Tx) uint64
 	soloFn   func(tm.Tx) uint64
 	soloBody func(tm.Tx) uint64
+	// fastPanic parks a body panic caught by the solo fast probe until
+	// execSoloFast turns it into the submission's error.
+	fastPanic any
 	// futSlab hands out solo-path futures in blocks, so the allocator is
 	// hit once per block instead of once per submission.
 	futSlab []tm.Future
@@ -216,20 +219,35 @@ func (e *Engine) AsyncUpdate(fn func(tm.Tx) uint64) *tm.Future {
 		return fut
 	}
 	o := e.obsv.Load()
-	if !e.waitFree && e.comb.head.Load() == nil && e.comb.active.CompareAndSwap(0, 1) {
-		// Lock-free solo fast path: no queue node, no batch record —
-		// only the returned future is allocated.
+	if e.comb.head.Load() == nil && e.comb.active.CompareAndSwap(0, 1) {
+		// Idle combiner: probe the small-transaction fast path first
+		// (fastpath.go — any variant), then the lock-free solo path. A
+		// wait-free engine whose body is not small releases the slot and
+		// falls through to the queue path below.
 		var start time.Time
 		if o != nil {
 			start = time.Now()
 		}
-		fut := e.execSoloLF(fn)
-		e.comb.active.Store(0)
-		if o != nil {
-			o.SoloLat.RecordSince(start)
+		if fut := e.execSoloFast(fn); fut != nil {
+			e.comb.active.Store(0)
+			if o != nil {
+				o.SoloLat.RecordSince(start)
+			}
+			e.drainLoop()
+			return fut
 		}
-		e.drainLoop()
-		return fut
+		if !e.waitFree {
+			// Lock-free solo fast path: no queue node, no batch record —
+			// only the returned future is allocated.
+			fut := e.execSoloLF(fn)
+			e.comb.active.Store(0)
+			if o != nil {
+				o.SoloLat.RecordSince(start)
+			}
+			e.drainLoop()
+			return fut
+		}
+		e.comb.active.Store(0)
 	}
 	r := &combReq{fn: fn}
 	if o != nil {
@@ -246,18 +264,91 @@ func (e *Engine) AsyncUpdate(fn func(tm.Tx) uint64) *tm.Future {
 	return &r.fut
 }
 
+// soloFuture hands out the next slab future (valid under active).
+func (e *Engine) soloFuture() *tm.Future {
+	c := &e.comb
+	if c.futIdx == len(c.futSlab) {
+		c.futSlab = make([]tm.Future, 64)
+		c.futIdx = 0
+	}
+	fut := &c.futSlab[c.futIdx]
+	c.futIdx++
+	return fut
+}
+
+// soloFastStatus is soloFastAttempt's outcome.
+type soloFastStatus uint8
+
+const (
+	soloFastDone     soloFastStatus = iota
+	soloFastFallback                // not small or persistently contended; nothing ran
+	soloFastClosed                  // the engine closed under the submission
+	soloFastPanic                   // the body panicked (value parked in c.fastPanic)
+)
+
+// soloFastAttempt acquires a slot and runs the engine-level fast attempt,
+// translating panics into statuses — the combiner must resolve a future,
+// never unwind its caller. A body panic is safe to absorb here: the fast
+// path runs bodies strictly before publication, so nothing committed.
+func (e *Engine) soloFastAttempt(fn func(tm.Tx) uint64) (res uint64, st soloFastStatus) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		if err, ok := p.(error); ok && errors.Is(err, tm.ErrEngineClosed) {
+			st = soloFastClosed
+			return
+		}
+		e.comb.fastPanic = p
+		st = soloFastPanic
+	}()
+	s := e.acquire()
+	defer e.release(s)
+	r, fst := e.fastAttempt(s, fn)
+	if fst == fastCommitted {
+		return r, soloFastDone
+	}
+	return 0, soloFastFallback
+}
+
+// execSoloFast probes the small-transaction fast path for one solo
+// submission, holding the combiner slot. A nil return means the body did
+// not commit fast (too large, allocating, or persistently contended) and
+// nothing happened — the caller re-runs it through the regular machinery.
+func (e *Engine) execSoloFast(fn func(tm.Tx) uint64) *tm.Future {
+	c := &e.comb
+	res, st := e.soloFastAttempt(fn)
+	switch st {
+	case soloFastClosed:
+		fut := e.soloFuture()
+		fut.Resolve(0, tm.ErrEngineClosed)
+		return fut
+	case soloFastPanic:
+		err := tm.PanicError(c.fastPanic)
+		c.fastPanic = nil
+		fut := e.soloFuture()
+		fut.Resolve(0, err)
+		return fut
+	case soloFastFallback:
+		return nil
+	}
+	fut := e.soloFuture()
+	// The counters are only written with the combiner slot held, so a
+	// plain load+store (no RMW) is enough; Stats reads stay race-free.
+	c.batches.Store(c.batches.Load() + 1)
+	c.batchedOps.Store(c.batchedOps.Load() + 1)
+	fut.ResolveLocal(res, nil)
+	return fut
+}
+
 // execSoloLF runs one operation as its own combined transaction on the
 // lock-free path, with the combiner slot held. The wait-free engines can't
 // take this shortcut: their bodies may run concurrently on helpers, so a
 // per-execution record (execBatchWF) is required even for one op.
 func (e *Engine) execSoloLF(fn func(tm.Tx) uint64) (fut *tm.Future) {
 	c := &e.comb
-	if c.futIdx == len(c.futSlab) {
-		c.futSlab = make([]tm.Future, 64)
-		c.futIdx = 0
-	}
-	fut = &c.futSlab[c.futIdx]
-	c.futIdx++
+	fut = e.soloFuture()
 	defer func() {
 		p := recover()
 		if p == nil {

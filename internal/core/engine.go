@@ -127,6 +127,7 @@ type slot struct {
 	// tm.Tx interface, so per-transaction values would heap-allocate).
 	utx uTx
 	rtx rTx
+	ftx fTx
 
 	opTag uint64 // owner-private monotonic tag for this slot's ops
 
@@ -149,6 +150,10 @@ type slot struct {
 	_        [48]byte
 	st       slotStats
 	_        [64]byte
+	// fst are the small-transaction fast-path counters (fastpath.go),
+	// owner-written like st and padded onto their own line.
+	fst fastStats
+	_   [24]byte
 }
 
 // opDesc is a published wait-free operation: the Go closure standing in for
@@ -329,6 +334,7 @@ func newEngine(cfg tm.Config, waitFree bool, dev pmem.Device, attach bool) (*Eng
 		s.helpBuf = make([]uint64, 0)
 		s.utx = uTx{e: e, s: s}
 		s.rtx = rTx{e: e}
+		s.ftx = fTx{e: e, s: s, cap: min(2, cfg.MaxStores)}
 	}
 
 	if attach {
@@ -378,20 +384,55 @@ func (e *Engine) attach() error {
 	}
 	e.curTx.Store(cur)
 	maxSeq := seqOf(cur)
+	wordMax := uint64(0)
 	for i := 0; i < e.cfg.HeapWords; i++ {
 		val, seq := e.dev.ImagePair(i)
-		if seq > maxSeq {
-			return fmt.Errorf("%w: word %d has sequence %d beyond durable curTx %d", ErrCorrupt, i, seq, maxSeq)
+		if seq > wordMax {
+			wordMax = seq
 		}
 		if val != 0 || seq != 0 {
 			e.words[i].Store(val, seq)
 		}
 	}
-	// Null recovery: the regular helping path finishes the last committed
-	// transaction if its request is still open. Stale open requests of
-	// transactions that never became durable fail the identifier match
-	// and are ignored, exactly as during normal execution.
-	if e.pending(cur) {
+	switch {
+	case wordMax > maxSeq:
+		// Durable words running AHEAD of the durable curTx image: only
+		// fast-path commits leave this (fastpath.go — they never flush the
+		// image; full-path and helper commits persist the image, with an
+		// ordering drain, before any word of their sequence can become
+		// durable). A word durable at sequence s proves every transaction
+		// before s completed durably — committing s required the previous
+		// request closed, and a fast request closes only after its own
+		// flush+fence — and the words of s itself are all-or-nothing (one
+		// atomic line flush). wordMax is therefore the true recovery point.
+		//
+		// Adopt it under a slot whose DURABLE request does not read as that
+		// very identifier, so the null-recovery branch below stays dead: a
+		// matching stale request (a fast winner's log is never flushed, but
+		// an earlier full-path loser's flushed log could collide) would
+		// replay a log that does not belong to the adopted commit. Such a
+		// slot always exists — the fast winner's own request store was
+		// never persisted, and it cannot have both lost and won wordMax.
+		adopted := false
+		for t := range e.slots {
+			if e.dev.ImageRaw(e.slots[t].logOff) != makeTx(wordMax, t) {
+				cur = makeTx(wordMax, t)
+				adopted = true
+				break
+			}
+		}
+		if !adopted {
+			return fmt.Errorf("%w: durable words reach sequence %d but every slot's durable request claims it", ErrCorrupt, wordMax)
+		}
+		e.curTx.Store(cur)
+		e.dev.FlushPair(0, e.curTxImg, cur, cur)
+		e.dev.Fence(0)
+	case e.pending(cur):
+		// Null recovery: the regular helping path finishes the last
+		// committed transaction if its request is still open. Stale open
+		// requests of transactions that never became durable fail the
+		// identifier match and are ignored, exactly as during normal
+		// execution.
 		e.helpApply(cur, &e.slots[0])
 	}
 	// Resume each slot's operation-tag counter from its durable tag word:
@@ -433,7 +474,16 @@ func (e *Engine) Stats() tm.Stats {
 		s.CAS += st.cas.Load()
 		s.DCAS += st.dcas.Load()
 		s.AggregatedOp += st.aggregated.Load()
+		f := &e.slots[i].fst
+		s.FastCommits += f.commits.Load()
+		s.FastFallbacks += f.fbConflict.Load() + f.fbIneligible.Load() + f.fbCrossLine.Load()
+		// A fast commit bumps only fst.commits; it is folded into the
+		// engine-wide Commits here so the hot path pays one counter update.
+		s.Commits += f.commits.Load()
 	}
+	// Every attempt ends as exactly one commit or one fallback; the hot
+	// path does not pay a separate attempts counter.
+	s.FastAttempts = s.FastCommits + s.FastFallbacks
 	s.Batches = e.comb.batches.Load()
 	s.BatchedOps = e.comb.batchedOps.Load()
 	if e.dev != nil {

@@ -1,0 +1,269 @@
+package crashcheck
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"onefile/internal/pmem"
+	"onefile/internal/tm"
+)
+
+// Fast-path crash sweep: the small-transaction DCAS fast path (DESIGN.md
+// §14) deliberately commits WITHOUT flushing the curTx image — exactly one
+// pwb + one pfence per transaction — and recovery compensates by adopting
+// the maximum durable word sequence when it runs ahead of the durable image.
+// That inversion of the §III-D invariant is the riskiest part of the fast
+// path, so it gets its own enumerated sweep: a workload of one- and
+// two-word transactions submitted through tm.UpdateSmall, interleaved with
+// full-path transactions (whose commits DO flush the image), crashed at
+// every persistence event, recovered, and checked against a sequential
+// oracle. The mixture matters: it exercises fast-after-full adoption chains,
+// full-after-fast image catch-up, and the null-recovery/adoption decision in
+// core's attach at every boundary between the two commit protocols.
+//
+// Fast transactions carry no allocation (that is what makes them eligible),
+// so the verifier's differential check is over bare root words rather than
+// containers, and the allocator audit is vacuous and skipped.
+
+// fpSlots is how many root-slot words the fast-path workload mutates.
+// Values are gen-stamped, so every transaction prefix has a distinct digest
+// and a torn or lost commit cannot hide.
+const fpSlots = 6
+
+// fastTxn is one transaction of the fast-path workload: 1–2 stores
+// submitted via tm.UpdateSmall, or a 3-store full-path e.Update.
+type fastTxn struct {
+	full  bool
+	slots []int
+	vals  []uint64
+}
+
+// FastProgram is the deterministic transaction list of the fast-path
+// workload plus its oracle digests, analogous to Program.
+type FastProgram struct {
+	Seed   int64
+	txns   []fastTxn
+	states []string
+}
+
+// NewFastProgram derives the fast-path workload from seed: txns
+// transactions, roughly two thirds small (1–2 stores, the two-store ones on
+// a single pair cache line so the persistent fast path engages) and one
+// third full-path 3-store transactions.
+func NewFastProgram(seed int64, txns int) *FastProgram {
+	rng := rand.New(rand.NewSource(seed))
+	p := &FastProgram{Seed: seed}
+	// Root slots whose heap words share a pair cache line, grouped, so a
+	// generated two-store transaction is always fast-path eligible on a PTM.
+	var groups [][]int
+	cur := []int{0}
+	for s := 1; s < fpSlots; s++ {
+		if uint64(tm.Root(s))/pmem.PairLineWords == uint64(tm.Root(cur[0]))/pmem.PairLineWords {
+			cur = append(cur, s)
+		} else {
+			groups = append(groups, cur)
+			cur = []int{s}
+		}
+	}
+	groups = append(groups, cur)
+
+	for t := 1; t <= txns; t++ {
+		gen := uint64(t)
+		val := func(slot int) uint64 { return gen<<8 | uint64(slot) }
+		tx := fastTxn{}
+		switch {
+		case t%3 == 0:
+			// Full-path transaction: three stores, spanning lines freely.
+			tx.full = true
+			for len(tx.slots) < 3 {
+				s := rng.Intn(fpSlots)
+				if len(tx.slots) > 0 && (s == tx.slots[0] || len(tx.slots) > 1 && s == tx.slots[1]) {
+					continue
+				}
+				tx.slots = append(tx.slots, s)
+				tx.vals = append(tx.vals, val(s))
+			}
+		case rng.Intn(2) == 0:
+			// Small one-word transaction.
+			s := rng.Intn(fpSlots)
+			tx.slots = []int{s}
+			tx.vals = []uint64{val(s)}
+		default:
+			// Small two-word transaction on one pair cache line.
+			g := groups[rng.Intn(len(groups))]
+			for len(g) < 2 {
+				g = groups[rng.Intn(len(groups))]
+			}
+			i := rng.Intn(len(g))
+			j := rng.Intn(len(g) - 1)
+			if j >= i {
+				j++
+			}
+			tx.slots = []int{g[i], g[j]}
+			tx.vals = []uint64{val(g[i]), val(g[j])}
+		}
+		p.txns = append(p.txns, tx)
+	}
+
+	// Oracle digests after every prefix.
+	var words [fpSlots]uint64
+	p.states = append(p.states, fastDigest(words))
+	for _, tx := range p.txns {
+		for i, s := range tx.slots {
+			words[s] = tx.vals[i]
+		}
+		p.states = append(p.states, fastDigest(words))
+	}
+	return p
+}
+
+// Len returns the number of transactions in the program.
+func (p *FastProgram) Len() int { return len(p.txns) }
+
+// StateAfter returns the oracle digest after the first k transactions.
+func (p *FastProgram) StateAfter(k int) string { return p.states[k] }
+
+func fastDigest(words [fpSlots]uint64) string { return fmt.Sprintf("%x", words) }
+
+// run executes the program on e: small transactions via tm.UpdateSmall
+// (riding the engine's fast path when one exists), full ones via e.Update.
+func (p *FastProgram) run(e tm.Engine, acked func()) {
+	for _, t := range p.txns {
+		tc := t
+		body := func(tx tm.Tx) uint64 {
+			for i, s := range tc.slots {
+				tx.Store(tm.Root(s), tc.vals[i])
+			}
+			return 0
+		}
+		if tc.full {
+			e.Update(body)
+		} else {
+			tm.UpdateSmall(e, body)
+		}
+		acked()
+	}
+}
+
+// readFastState reads the recovered engine's root words back into a digest.
+func readFastState(e tm.Engine) string {
+	var words [fpSlots]uint64
+	e.Read(func(tx tm.Tx) uint64 {
+		for s := 0; s < fpSlots; s++ {
+			words[s] = tx.Load(tm.Root(s))
+		}
+		return 0
+	})
+	return fastDigest(words)
+}
+
+// EnumerateFast counts the persistence events of the fast-path workload
+// (its crash-point space); deterministic for a given (engine, program).
+func EnumerateFast(def EngineDef, mode pmem.Mode, p *FastProgram) (int, error) {
+	return EnumerateFastOn(nil, def, mode, p)
+}
+
+// EnumerateFastOn is EnumerateFast with an explicit device factory
+// (nil = simulator).
+func EnumerateFastOn(fac DeviceFactory, def EngineDef, mode pmem.Mode, p *FastProgram) (int, error) {
+	dev, err := fac.newDevice(def.DeviceConfig(mode, 1, engineOpts()...))
+	if err != nil {
+		return 0, err
+	}
+	defer dev.Close()
+	e, err := def.New(dev, false, engineOpts()...)
+	if err != nil {
+		return 0, err
+	}
+	if _, ok := e.(tm.SmallUpdater); !ok {
+		return 0, fmt.Errorf("crashcheck: %s has no small-transaction fast path; fast-path sweep is not meaningful", def.Name)
+	}
+	n := 0
+	dev.SetHook(func(pmem.Event) { n++ })
+	p.run(e, func() {})
+	dev.SetHook(nil)
+	return n, nil
+}
+
+// RunPointFast runs the fast-path workload, crashes at persistence event
+// number event (1-based), recovers and verifies: recovery succeeds (the
+// word-ahead-of-image adoption in core's attach), the root words equal the
+// oracle after exactly acked or acked+1 transactions, and the recovered
+// engine still commits on BOTH paths.
+func RunPointFast(def EngineDef, mode pmem.Mode, devSeed int64, p *FastProgram, event int) (completed bool, err error) {
+	return RunPointFastOn(nil, def, mode, devSeed, p, event)
+}
+
+// RunPointFastOn is RunPointFast with an explicit device factory
+// (nil = simulator).
+func RunPointFastOn(fac DeviceFactory, def EngineDef, mode pmem.Mode, devSeed int64, p *FastProgram, event int) (completed bool, err error) {
+	dev, err := fac.newDevice(def.DeviceConfig(mode, devSeed, engineOpts()...))
+	if err != nil {
+		return false, err
+	}
+	defer dev.Close()
+	e, err := def.New(dev, false, engineOpts()...)
+	if err != nil {
+		return false, err
+	}
+
+	n := 0
+	dev.SetHook(func(pmem.Event) {
+		n++
+		if n >= event {
+			panic(crashSignal{event: event})
+		}
+	})
+	acked := 0
+	crashed := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(crashSignal); ok {
+					crashed = true
+					return
+				}
+				panic(r)
+			}
+		}()
+		p.run(e, func() { acked++ })
+	}()
+	dev.SetHook(nil)
+	if !crashed {
+		return true, nil
+	}
+
+	dev.Crash()
+
+	r, err := def.New(dev, true, engineOpts()...)
+	if err != nil {
+		return false, fmt.Errorf("recovery failed after %d acked txns: %w", acked, err)
+	}
+
+	got := readFastState(r)
+	next := min(acked+1, p.Len())
+	if got != p.StateAfter(acked) && got != p.StateAfter(next) {
+		return false, fmt.Errorf(
+			"oracle divergence after %d acked txns:\n--- recovered ---\n%s\n--- want (k=%d) ---\n%s\n--- or (k=%d) ---\n%s",
+			acked, got, acked, p.StateAfter(acked), next, p.StateAfter(next))
+	}
+
+	// Liveness on both commit protocols: the adopted sequence must be a
+	// valid base for full-path AND fast-path commits.
+	r.Update(func(tx tm.Tx) uint64 {
+		tx.Store(tm.Root(8), 0xBEEF)
+		return 0
+	})
+	if v := r.Read(func(tx tm.Tx) uint64 { return tx.Load(tm.Root(8)) }); v != 0xBEEF {
+		return false, errors.New("post-recovery full-path update lost")
+	}
+	tm.UpdateSmall(r, func(tx tm.Tx) uint64 {
+		tx.Store(tm.Root(9), 0xF00D)
+		return 0
+	})
+	if v := r.Read(func(tx tm.Tx) uint64 { return tx.Load(tm.Root(9)) }); v != 0xF00D {
+		return false, errors.New("post-recovery fast-path update lost")
+	}
+	return false, nil
+}

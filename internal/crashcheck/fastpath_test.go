@@ -1,0 +1,87 @@
+package crashcheck
+
+import (
+	"testing"
+
+	"onefile/internal/testutil"
+)
+
+// TestCrashMatrixFastPath is the fast-path acceptance sweep (ISSUE 10
+// satellite): crash at every persistence event of the small-transaction
+// workload on both OneFile PTMs, in StrictMode and across RelaxedMode
+// device seeds, on the simulator — and demand zero violations. This is the
+// sweep that pins the adoption recovery protocol: fast commits never flush
+// the curTx image, so many of these crash points recover from durable words
+// that run ahead of the durable image.
+func TestCrashMatrixFastPath(t *testing.T) {
+	seed := testutil.Seed(t, 1)
+	cfg := Config{
+		Seed:         seed,
+		Txns:         12,
+		Stride:       1,
+		FastPath:     true,
+		Strict:       true,
+		RelaxedSeeds: []int64{1, 2, 3, 4},
+		Logf:         t.Logf,
+	}
+	if testing.Short() {
+		cfg.Txns = 8
+		cfg.RelaxedSeeds = []int64{1}
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	t.Logf("fast-path sweep: %d crash points, %d violations", res.Points, len(res.Violations))
+	if res.Points == 0 {
+		t.Fatal("fast-path matrix exercised no crash points")
+	}
+}
+
+// TestCrashMatrixFastPathFileDevice re-runs the fast-path sweep with every
+// device a real mmap-backed file: adoption recovery must not depend on the
+// simulator's semantics.
+func TestCrashMatrixFastPathFileDevice(t *testing.T) {
+	seed := testutil.Seed(t, 1)
+	cfg := Config{
+		Seed:         seed,
+		Txns:         10,
+		Stride:       1,
+		FastPath:     true,
+		Strict:       true,
+		RelaxedSeeds: []int64{1, 2},
+		Device:       fileFactory(testutil.TmpfsDir(t)),
+		Logf:         t.Logf,
+	}
+	if testing.Short() {
+		cfg.Txns = 6
+		cfg.Stride = 3
+		cfg.RelaxedSeeds = nil
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	t.Logf("fast-path file-device sweep: %d crash points, %d violations", res.Points, len(res.Violations))
+	if res.Points == 0 {
+		t.Fatal("fast-path matrix exercised no crash points")
+	}
+}
+
+// TestFastSweepRejectsNonFastPath: the sweep on an engine without a fast
+// path is a configuration error, not a silently weaker check.
+func TestFastSweepRejectsNonFastPath(t *testing.T) {
+	_, err := Run(Config{
+		Seed: 1, Txns: 3, FastPath: true, Strict: true,
+		Engines: []string{"PMDK"},
+	})
+	if err == nil {
+		t.Fatal("fast-path sweep on PMDK did not error")
+	}
+}

@@ -179,23 +179,30 @@ type Stats struct {
 	AggregatedOp uint64 // operations executed via wait-free aggregation
 	Batches      uint64 // combined transactions executed by the group-commit layer
 	BatchedOps   uint64 // operations that ran through combined transactions
+
+	FastAttempts  uint64 // small-transaction fast-path attempts (UpdateSmall entries)
+	FastCommits   uint64 // transactions committed on the fast path
+	FastFallbacks uint64 // fast-path attempts that fell back to the full engine
 }
 
 // Sub returns the counter-wise difference s - o.
 func (s Stats) Sub(o Stats) Stats {
 	return Stats{
-		Commits:      s.Commits - o.Commits,
-		Aborts:       s.Aborts - o.Aborts,
-		ReadCommits:  s.ReadCommits - o.ReadCommits,
-		ReadAborts:   s.ReadAborts - o.ReadAborts,
-		Helps:        s.Helps - o.Helps,
-		CAS:          s.CAS - o.CAS,
-		DCAS:         s.DCAS - o.DCAS,
-		Pwb:          s.Pwb - o.Pwb,
-		Pfence:       s.Pfence - o.Pfence,
-		Pdrain:       s.Pdrain - o.Pdrain,
-		AggregatedOp: s.AggregatedOp - o.AggregatedOp,
-		Batches:      s.Batches - o.Batches,
-		BatchedOps:   s.BatchedOps - o.BatchedOps,
+		Commits:       s.Commits - o.Commits,
+		Aborts:        s.Aborts - o.Aborts,
+		ReadCommits:   s.ReadCommits - o.ReadCommits,
+		ReadAborts:    s.ReadAborts - o.ReadAborts,
+		Helps:         s.Helps - o.Helps,
+		CAS:           s.CAS - o.CAS,
+		DCAS:          s.DCAS - o.DCAS,
+		Pwb:           s.Pwb - o.Pwb,
+		Pfence:        s.Pfence - o.Pfence,
+		Pdrain:        s.Pdrain - o.Pdrain,
+		AggregatedOp:  s.AggregatedOp - o.AggregatedOp,
+		Batches:       s.Batches - o.Batches,
+		BatchedOps:    s.BatchedOps - o.BatchedOps,
+		FastAttempts:  s.FastAttempts - o.FastAttempts,
+		FastCommits:   s.FastCommits - o.FastCommits,
+		FastFallbacks: s.FastFallbacks - o.FastFallbacks,
 	}
 }
